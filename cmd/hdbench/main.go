@@ -1,0 +1,98 @@
+// hdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hdbench [-fig all|6|7|8|9|10|transfer|params] [-scale bench|paper] [-v]
+//
+// -scale paper reproduces §5 at full magnitude (20 queries x 2 bushy trees
+// over 12 relations, 30-60 virtual-minute sequential gate) and takes a
+// while; -scale bench (default) keeps every experiment's shape in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hierdb"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to regenerate: all, 6, 7, 8, 9, 10, transfer, params, or the extensions ext|shapes|placement|chains")
+	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	queries := flag.Int("queries", 0, "override the scale's query count (0 = scale default); smaller counts trade averaging breadth for speed")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	var scale hierdb.Scale
+	switch *scaleName {
+	case "bench":
+		scale = hierdb.BenchScale()
+	case "paper":
+		scale = hierdb.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+
+	var prog hierdb.Progress
+	if *verbose {
+		prog = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	type driver struct {
+		id  string
+		run func() *hierdb.Figure
+	}
+	drivers := []driver{
+		{"6", func() *hierdb.Figure { return hierdb.Fig6(scale, prog) }},
+		{"7", func() *hierdb.Figure { return hierdb.Fig7(scale, prog) }},
+		{"8", func() *hierdb.Figure { return hierdb.Fig8(scale, prog) }},
+		{"9", func() *hierdb.Figure { return hierdb.Fig9(scale, prog) }},
+		{"transfer", func() *hierdb.Figure { return hierdb.Transfer(scale, prog) }},
+		{"10", func() *hierdb.Figure { return hierdb.Fig10(scale, prog) }},
+		// Extensions beyond the paper's artifacts (excluded from "all"
+		// unless explicitly requested with -fig ext or by id).
+		{"shapes", func() *hierdb.Figure { return hierdb.Shapes(scale, prog) }},
+		{"placement", func() *hierdb.Figure { return hierdb.PlacementSkew(scale, prog) }},
+		{"chains", func() *hierdb.Figure { return hierdb.ConcurrentChains(scale, prog) }},
+	}
+	extensions := map[string]bool{"shapes": true, "placement": true, "chains": true}
+
+	want := strings.Split(*fig, ",")
+	selected := func(id string) bool {
+		for _, w := range want {
+			if w == id {
+				return true
+			}
+			if w == "all" && !extensions[id] {
+				return true
+			}
+			if w == "ext" && extensions[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if selected("params") {
+		fmt.Print(hierdb.ParamTables())
+		fmt.Println()
+	}
+	for _, d := range drivers {
+		if !selected(d.id) {
+			continue
+		}
+		start := time.Now()
+		f := d.run()
+		f.Render(os.Stdout)
+		fmt.Printf("(regenerated in %v at %s scale)\n\n", time.Since(start).Round(time.Millisecond), scale.Name)
+	}
+}

@@ -1,0 +1,57 @@
+// hdbgen generates and inspects the experimental workload of §5.1.2:
+// random multi-join queries, optimized into bushy parallel execution
+// plans with operator scheduling and pipeline chains.
+//
+// Usage:
+//
+//	hdbgen [-scale bench|paper] [-nodes N] [-plan i]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hierdb"
+)
+
+func main() {
+	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	nodes := flag.Int("nodes", 1, "number of SM-nodes the relations are partitioned across")
+	planIdx := flag.Int("plan", -1, "print the full operator tree of one plan (index); -1 lists all")
+	flag.Parse()
+
+	var scale hierdb.Scale
+	switch *scaleName {
+	case "bench":
+		scale = hierdb.BenchScale()
+	case "paper":
+		scale = hierdb.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	w := hierdb.GenerateWorkload(scale, *nodes)
+	if *planIdx >= 0 {
+		if *planIdx >= len(w.Plans) {
+			log.Fatalf("plan %d out of range (%d plans)", *planIdx, len(w.Plans))
+		}
+		fmt.Print(w.Plans[*planIdx].String())
+		return
+	}
+	fmt.Printf("%d plans (%d queries x %d trees, %d relations each, %d nodes):\n",
+		len(w.Plans), scale.Queries, scale.TreesPerQuery, scale.Relations, *nodes)
+	var totalBytes int64
+	for i, p := range w.Plans {
+		var base int64
+		for _, op := range p.Ops {
+			if op.Rel != nil {
+				base += op.Rel.Bytes()
+			}
+		}
+		totalBytes += base
+		fmt.Printf("  [%2d] %-10s %2d ops %2d joins %2d chains  base=%6.1f MB  input tuples=%d\n",
+			i, p.Name, len(p.Ops), p.Joins, len(p.Chains), float64(base)/(1<<20), p.TotalInputTuples())
+	}
+	fmt.Printf("total base data: %.2f GB\n", float64(totalBytes)/(1<<30))
+}

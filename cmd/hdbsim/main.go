@@ -1,0 +1,81 @@
+// hdbsim executes one plan of the generated workload under one strategy
+// on one topology and prints the full measurement record — the tool for
+// poking at individual executions.
+//
+// Usage:
+//
+//	hdbsim [-scale bench|paper] [-plan i] [-strategy DP|FP|SP]
+//	       [-nodes N] [-procs P] [-skew z] [-errrate r] [-chain ops]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hierdb"
+)
+
+func main() {
+	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	planIdx := flag.Int("plan", 0, "plan index in the generated workload")
+	strategy := flag.String("strategy", "DP", "DP, FP or SP")
+	nodes := flag.Int("nodes", 1, "SM-nodes")
+	procs := flag.Int("procs", 8, "processors per SM-node")
+	skew := flag.Float64("skew", 0, "redistribution skew (Zipf factor)")
+	errRate := flag.Float64("errrate", 0, "FP cost-model error rate (e.g. 0.2)")
+	chain := flag.Int("chain", 0, "if > 0, run the §5.3 chain micro-benchmark with this many operators instead of a workload plan")
+	flag.Parse()
+
+	var scale hierdb.Scale
+	switch *scaleName {
+	case "bench":
+		scale = hierdb.BenchScale()
+	case "paper":
+		scale = hierdb.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	var tree *hierdb.Plan
+	if *chain > 0 {
+		tree = hierdb.ChainPlan(*chain, *nodes, scale.CardDivisor)
+	} else {
+		w := hierdb.GenerateWorkload(scale, *nodes)
+		if *planIdx < 0 || *planIdx >= len(w.Plans) {
+			log.Fatalf("plan %d out of range (%d plans)", *planIdx, len(w.Plans))
+		}
+		tree = w.Plans[*planIdx]
+	}
+	cfg := hierdb.DefaultConfig(*nodes, *procs)
+	mutate := func(o *hierdb.SimOptions) { o.RedistributionSkew = *skew }
+
+	var run *hierdb.Run
+	var err error
+	switch *strategy {
+	case "DP":
+		run, err = hierdb.ExecuteDP(tree, cfg, mutate)
+	case "FP":
+		run, err = hierdb.ExecuteFP(tree, cfg, *errRate, 1, mutate)
+	case "SP":
+		run, err = hierdb.ExecuteSP(tree, cfg)
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("plan      %s\n", run.Plan)
+	fmt.Printf("strategy  %s on %s\n", run.Strategy, run.Config)
+	fmt.Printf("response  %v\n", run.ResponseTime)
+	fmt.Printf("busy      %v\n", run.Busy)
+	fmt.Printf("io wait   %v\n", run.IOWait)
+	fmt.Printf("idle      %v\n", run.Idle)
+	fmt.Printf("results   %d tuples\n", run.ResultTuples)
+	fmt.Printf("queue ops %d, suspensions %d\n", run.QueueOps, run.Suspensions)
+	fmt.Printf("steals    %d rounds, %d succeeded, %d activations\n",
+		run.StealRounds, run.StealsSucceeded, run.StolenActivations)
+	fmt.Printf("traffic   pipeline %d B (%d msgs), control %d B (%d msgs), balance %d B (%d msgs)\n",
+		run.PipelineBytes, run.PipelineMsgs, run.ControlBytes, run.ControlMsgs, run.BalanceBytes, run.BalanceMsgs)
+}

@@ -1,0 +1,85 @@
+package hierdb_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hierdb"
+)
+
+// ExampleExecute joins two tables on the DP-scheduled engine.
+func ExampleExecute() {
+	users := &hierdb.Table{
+		Name: "users",
+		Cols: []string{"id", "name"},
+		Rows: []hierdb.Row{{1, "ada"}, {2, "grace"}},
+	}
+	logins := &hierdb.Table{
+		Name: "logins",
+		Cols: []string{"user_id", "day"},
+		Rows: []hierdb.Row{{1, "mon"}, {2, "tue"}, {1, "wed"}},
+	}
+	plan := &hierdb.JoinNode{
+		Build:    &hierdb.ScanNode{Table: users},
+		Probe:    &hierdb.ScanNode{Table: logins},
+		BuildKey: hierdb.KeyCol(0),
+		ProbeKey: hierdb.KeyCol(0),
+	}
+	rows, _, err := hierdb.Execute(context.Background(), plan, hierdb.EngineOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(rows), "joined rows")
+	// Output: 3 joined rows
+}
+
+// ExampleExecuteGroupBy aggregates a join result in parallel.
+func ExampleExecuteGroupBy() {
+	items := &hierdb.Table{
+		Name: "items",
+		Cols: []string{"sku", "price"},
+		Rows: []hierdb.Row{{1, 10.0}, {2, 20.0}},
+	}
+	sales := &hierdb.Table{
+		Name: "sales",
+		Cols: []string{"sku"},
+		Rows: []hierdb.Row{{1}, {1}, {2}},
+	}
+	plan := &hierdb.JoinNode{
+		Build:    &hierdb.ScanNode{Table: items},
+		Probe:    &hierdb.ScanNode{Table: sales},
+		BuildKey: hierdb.KeyCol(0),
+		ProbeKey: hierdb.KeyCol(0),
+	}
+	gb := &hierdb.GroupBy{
+		Key: hierdb.KeyCol(0), // sku
+		Aggs: []hierdb.Aggregation{
+			{Func: hierdb.Count},
+			{Func: hierdb.Sum, Arg: func(r hierdb.Row) float64 { return r[2].(float64) }},
+		},
+	}
+	rows, _, err := hierdb.ExecuteGroupBy(context.Background(), plan, gb, hierdb.EngineOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("sku=%v count=%v revenue=%v\n", r[0], r[1], r[2])
+	}
+	// Output:
+	// sku=1 count=2 revenue=20
+	// sku=2 count=1 revenue=20
+}
+
+// ExampleExecuteDP simulates one generated plan on the paper's machine.
+func ExampleExecuteDP() {
+	s := hierdb.BenchScale()
+	s.Queries = 1
+	w := hierdb.GenerateWorkload(s, 1)
+	r, err := hierdb.ExecuteDP(w.Plans[0], hierdb.DefaultConfig(1, 8), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Strategy, "produced", r.ResultTuples > 0)
+	// Output: DP produced true
+}

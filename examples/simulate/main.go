@@ -1,0 +1,56 @@
+// Simulate: drive the paper's simulation programmatically — generate a
+// workload, execute one plan under SP, DP and FP on a shared-memory node,
+// then run the §5.3 transfer micro-benchmark on a 4-node hierarchy.
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierdb"
+)
+
+func main() {
+	scale := hierdb.BenchScale()
+
+	// Shared memory: one SM-node of 8 processors.
+	w := hierdb.GenerateWorkload(scale, 1)
+	tree := w.Plans[0]
+	cfg := hierdb.DefaultConfig(1, 8)
+	fmt.Printf("plan %s on %v:\n", tree.Name, cfg)
+
+	sp, err := hierdb.ExecuteSP(tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp, err := hierdb.ExecuteDP(tree, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := hierdb.ExecuteFP(tree, cfg, 0, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range []*hierdb.Run{sp, dp, fp} {
+		fmt.Printf("  %-3s rt=%-10v busy=%-10v idle=%-10v results=%d\n",
+			r.Strategy, r.ResponseTime, r.Busy, r.Idle, r.ResultTuples)
+	}
+	fmt.Printf("  DP/SP = %.3f, FP/SP = %.3f\n\n", dp.Relative(sp), fp.Relative(sp))
+
+	// Hierarchical: the 5-operator chain of §5.3 on 4 SM-nodes, skewed.
+	chain := hierdb.ChainPlan(5, 4, 10)
+	hcfg := hierdb.DefaultConfig(4, 2)
+	dpH, err := hierdb.ExecuteDP(chain, hcfg, func(o *hierdb.SimOptions) { o.RedistributionSkew = 0.8 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpH, err := hierdb.ExecuteFP(chain, hcfg, 0, 1, func(o *hierdb.SimOptions) { o.RedistributionSkew = 0.8 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-operator chain on %v, skew 0.8:\n", hcfg)
+	fmt.Printf("  DP rt=%v lbBytes=%d idle=%v\n", dpH.ResponseTime, dpH.BalanceBytes, dpH.Idle)
+	fmt.Printf("  FP rt=%v lbBytes=%d idle=%v\n", fpH.ResponseTime, fpH.BalanceBytes, fpH.Idle)
+}

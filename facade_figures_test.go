@@ -1,0 +1,53 @@
+package hierdb
+
+import "testing"
+
+// TestAllFigureWrappers smoke-tests every figure driver through the public
+// facade at a minimal scale.
+func TestAllFigureWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by benchmarks")
+	}
+	s := BenchScale()
+	s.Queries = 1
+	s.Fig6Procs = []int{2}
+	s.Fig7Procs = []int{2}
+	s.Fig7Rates = []float64{0, 0.3}
+	s.Fig7Plans = 1
+	s.Fig7Draws = 1
+	s.Fig8Procs = []int{1, 2}
+	s.Fig9Skews = []float64{0, 1}
+	s.Fig9Procs = 2
+	s.Fig10PPN = []int{2}
+
+	drivers := []struct {
+		id  string
+		run func() *Figure
+	}{
+		{"fig6", func() *Figure { return Fig6(s, nil) }},
+		{"fig7", func() *Figure { return Fig7(s, nil) }},
+		{"fig8", func() *Figure { return Fig8(s, nil) }},
+		{"fig9", func() *Figure { return Fig9(s, nil) }},
+		{"transfer", func() *Figure { return Transfer(s, nil) }},
+		{"fig10", func() *Figure { return Fig10(s, nil) }},
+		{"shapes", func() *Figure { return Shapes(s, nil) }},
+		{"placement", func() *Figure { return PlacementSkew(s, nil) }},
+		{"chains", func() *Figure { return ConcurrentChains(s, nil) }},
+	}
+	for _, d := range drivers {
+		fig := d.run()
+		if fig == nil || len(fig.Series) == 0 {
+			t.Fatalf("%s: empty figure", d.id)
+		}
+		if fig.String() == "" {
+			t.Fatalf("%s: empty render", d.id)
+		}
+		for _, series := range fig.Series {
+			for _, y := range series.Y {
+				if y < 0 {
+					t.Fatalf("%s: negative point in %q: %v", d.id, series.Label, series.Y)
+				}
+			}
+		}
+	}
+}

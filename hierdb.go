@@ -1,0 +1,215 @@
+// Package hierdb reproduces "Dynamic Load Balancing in Hierarchical
+// Parallel Database Systems" (Bouganim, Florescu, Valduriez; INRIA
+// RR-2815 / VLDB 1996) as a Go library.
+//
+// It exposes two layers:
+//
+//   - A simulation of the paper's execution models on a configurable
+//     hierarchical machine (SM-nodes of processors and disks connected by
+//     a network), faithful to §5.1's methodology: the execution model runs
+//     for real, operators/disks/network are simulated in virtual time.
+//     Use GenerateWorkload + ExecuteDP/ExecuteFP/ExecuteSP, or the
+//     per-figure drivers (Fig6..Fig10, Transfer) to regenerate the paper's
+//     evaluation.
+//
+//   - A real-data, in-memory parallel hash-join engine (Execute) whose
+//     scheduler is the paper's DP model on goroutines: self-contained
+//     activations in per-operator queues, any worker may run any operator,
+//     primary-queue affinity, pipeline chains one at a time. Static mode
+//     gives the FP baseline for comparison.
+package hierdb
+
+import (
+	"context"
+
+	"hierdb/internal/baseline"
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+	"hierdb/internal/exec"
+	"hierdb/internal/experiments"
+	"hierdb/internal/metrics"
+	"hierdb/internal/plan"
+)
+
+// ---------------------------------------------------------------------
+// Simulation layer
+// ---------------------------------------------------------------------
+
+// Config describes the hierarchical machine (SM-nodes x processors, with
+// the paper's disk and network parameter tables).
+type Config = cluster.Config
+
+// DefaultConfig returns the paper's machine parameters for the given
+// topology, e.g. DefaultConfig(4, 8) for the "4x8" configuration.
+func DefaultConfig(nodes, procsPerNode int) Config {
+	return cluster.DefaultConfig(nodes, procsPerNode)
+}
+
+// Plan is a parallel execution plan (operator tree + scheduling + homes).
+type Plan = plan.Tree
+
+// Run is the measurement record of one simulated execution.
+type Run = metrics.Run
+
+// SimOptions tunes the DP/FP execution models (granularities, degree of
+// fragmentation, flow control, skew, global load balancing, ablations).
+type SimOptions = core.Options
+
+// Scale selects experiment magnitude.
+type Scale = experiments.Scale
+
+// Workload is a generated plan set.
+type Workload = experiments.Workload
+
+// Figure is a regenerated table or figure.
+type Figure = experiments.Figure
+
+// Progress receives progress lines from long experiment drivers.
+type Progress = experiments.Progress
+
+// PaperScale returns the full §5 experiment configuration (20 queries x 2
+// bushy trees over 12 relations, 30-60 virtual-minute sequential gate).
+func PaperScale() Scale { return experiments.PaperScale() }
+
+// BenchScale returns a reduced configuration that keeps every experiment's
+// shape while running in seconds.
+func BenchScale() Scale { return experiments.BenchScale() }
+
+// PlanSchedule selects the optimizer scheduling heuristics of §2.2
+// (hash-tables-ready and one-chain-at-a-time).
+type PlanSchedule = plan.Schedule
+
+// DefaultSchedule matches the paper's experiments: chains one-at-a-time.
+func DefaultSchedule() PlanSchedule { return plan.DefaultSchedule() }
+
+// FullParallelSchedule disables both heuristics, executing all pipeline
+// chains concurrently — the [Wilshut95]-style strategy §3.2 discusses as a
+// way to give load balancing more concurrent operators.
+func FullParallelSchedule() PlanSchedule { return PlanSchedule{} }
+
+// GenerateWorkload builds the §5.1.2 plan set for a topology of the given
+// number of SM-nodes, deterministically in (scale.Seed, nodes).
+func GenerateWorkload(s Scale, nodes int) *Workload {
+	return experiments.BuildWorkload(s, nodes)
+}
+
+// GenerateWorkloadSchedule is GenerateWorkload with explicit scheduling
+// heuristics. Note the FP baseline requires the one-chain-at-a-time
+// schedule; use alternate schedules with ExecuteDP only.
+func GenerateWorkloadSchedule(s Scale, nodes int, sched PlanSchedule) *Workload {
+	return experiments.BuildWorkloadSchedule(s, nodes, sched)
+}
+
+// ChainPlan builds the §5.3 micro-benchmark: one pipeline chain of ops
+// operators on the given number of nodes (cardDiv scales the relations
+// down; use 1 for paper scale).
+func ChainPlan(ops, nodes int, cardDiv int64) *Plan {
+	return experiments.ChainPlan(ops, nodes, cardDiv)
+}
+
+// ExecuteDP runs a plan under the paper's dynamic-processing model.
+// mutate, if non-nil, adjusts the default options (skew, ablations, ...).
+func ExecuteDP(tree *Plan, cfg Config, mutate func(*SimOptions)) (*Run, error) {
+	return baseline.RunDP(tree, cfg, mutate)
+}
+
+// ExecuteFP runs a plan under the fixed-processing baseline with the given
+// cost-model error rate (0 = exact estimates) and distortion seed.
+func ExecuteFP(tree *Plan, cfg Config, errRate float64, distortSeed uint64, mutate func(*SimOptions)) (*Run, error) {
+	return baseline.RunFP(tree, cfg, errRate, distortSeed, mutate)
+}
+
+// ExecuteSP runs a plan under synchronous pipelining (single SM-node
+// only, as in the paper).
+func ExecuteSP(tree *Plan, cfg Config) (*Run, error) {
+	return baseline.RunSP(tree, cfg, baseline.DefaultSPOptions())
+}
+
+// Fig6 regenerates Figure 6 (relative performance of SP, DP, FP).
+func Fig6(s Scale, p Progress) *Figure { return experiments.Fig6(s, p) }
+
+// Fig7 regenerates Figure 7 (impact of cost-model errors on FP).
+func Fig7(s Scale, p Progress) *Figure { return experiments.Fig7(s, p) }
+
+// Fig8 regenerates Figure 8 (speedup of SP, FP, DP).
+func Fig8(s Scale, p Progress) *Figure { return experiments.Fig8(s, p) }
+
+// Fig9 regenerates Figure 9 (impact of redistribution skew on DP).
+func Fig9(s Scale, p Progress) *Figure { return experiments.Fig9(s, p) }
+
+// Fig10 regenerates Figure 10 (FP vs DP on hierarchical configurations).
+func Fig10(s Scale, p Progress) *Figure { return experiments.Fig10(s, p) }
+
+// Transfer regenerates the §5.3 in-text load-balancing data-volume
+// comparison (paper: FP ~9 MB vs DP ~2.5 MB).
+func Transfer(s Scale, p Progress) *Figure { return experiments.Transfer(s, p) }
+
+// ParamTables renders the §5.1.1 network and disk parameter tables.
+func ParamTables() string { return experiments.ParamTables() }
+
+// Shapes compares DP across join-tree shapes (extension, motivated by
+// §2.2's discussion of left-deep/right-deep/zigzag/bushy trees).
+func Shapes(s Scale, p Progress) *Figure { return experiments.Shapes(s, p) }
+
+// PlacementSkew measures DP under tuple-placement skew ([Walton91];
+// extension).
+func PlacementSkew(s Scale, p Progress) *Figure { return experiments.PlacementSkew(s, p) }
+
+// ConcurrentChains compares one-chain-at-a-time with the §3.2
+// full-parallel schedule under DP (extension).
+func ConcurrentChains(s Scale, p Progress) *Figure { return experiments.ConcurrentChains(s, p) }
+
+// ---------------------------------------------------------------------
+// Real-data engine
+// ---------------------------------------------------------------------
+
+// Row is one tuple of the real-data engine.
+type Row = exec.Row
+
+// Table is an in-memory relation.
+type Table = exec.Table
+
+// ScanNode reads a table (optionally filtered).
+type ScanNode = exec.Scan
+
+// JoinNode is a hash equi-join of two sub-plans.
+type JoinNode = exec.Join
+
+// KeyFunc extracts a comparable join key from a row.
+type KeyFunc = exec.KeyFunc
+
+// KeyCol returns a KeyFunc selecting column i.
+func KeyCol(i int) KeyFunc { return exec.KeyCol(i) }
+
+// EngineOptions tunes the real-data engine (workers, morsel/batch
+// granularity, hash-table striping, Static = FP baseline).
+type EngineOptions = exec.Options
+
+// EngineStats reports per-execution counters, including per-worker load.
+type EngineStats = exec.Stats
+
+// Execute runs a real-data plan under the DP scheduler and returns the
+// joined rows.
+func Execute(ctx context.Context, root exec.Node, opt EngineOptions) ([]Row, *EngineStats, error) {
+	return exec.Execute(ctx, root, opt)
+}
+
+// GroupBy describes a grouped aggregation over a plan's output.
+type GroupBy = exec.GroupBy
+
+// Aggregation is one aggregate function application.
+type Aggregation = exec.Aggregation
+
+// Aggregate functions for GroupBy.
+const (
+	Count = exec.Count
+	Sum   = exec.Sum
+	Min   = exec.Min
+	Max   = exec.Max
+)
+
+// ExecuteGroupBy runs a real-data plan and folds its output through a
+// parallel partial aggregation, one row per group.
+func ExecuteGroupBy(ctx context.Context, root exec.Node, gb *GroupBy, opt EngineOptions) ([]Row, *EngineStats, error) {
+	return exec.ExecuteGroupBy(ctx, root, gb, opt)
+}

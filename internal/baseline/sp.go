@@ -1,0 +1,299 @@
+// Package baseline implements the two load-balancing strategies the paper
+// compares DP against in §5.2.1.
+//
+// SP (synchronous pipelining, [Shekita93], here) is the dedicated
+// shared-memory model: every processor participates in every operator of a
+// pipeline chain, reading base-relation pages and pushing each tuple
+// through the whole chain of hash tables by procedure call — no
+// inter-operator queues at all, hence no queue-management overhead, but
+// also no way to run on shared-nothing (tuple redistribution would need
+// remote synchronization).
+//
+// FP (fixed processing, [DeWitt90, Boral90]) is executed by the core
+// engine in core.FP mode; RunFP below wires the (optionally distorted)
+// cost estimates into it.
+package baseline
+
+import (
+	"fmt"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+	"hierdb/internal/metrics"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/simdisk"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+// SPOptions parameterizes a synchronous-pipelining execution.
+type SPOptions struct {
+	// Costs are the CPU path lengths (plan.DefaultCosts by default).
+	Costs plan.Costs
+	// PagesPerUnit is the work-unit granularity in pages.
+	PagesPerUnit int
+	// SkewVariation adds per-unit processing-time variation modelling
+	// severe attribute-value skew (§5.2.1 notes SP balances perfectly
+	// "unless there is severe data skew which yields high variations in
+	// tuple processing time"). 0 disables it.
+	SkewVariation float64
+	// Seed drives the skew variation draws.
+	Seed uint64
+}
+
+// DefaultSPOptions uses single-page work units: the paper's SP consumes
+// tuples straight from the I/O buffers, so its effective grain is much
+// finer than DP's multi-page trigger activations.
+func DefaultSPOptions() SPOptions {
+	return SPOptions{Costs: plan.DefaultCosts(), PagesPerUnit: 1, Seed: 1}
+}
+
+// spUnit is one work unit: a page range of the driver relation on a disk.
+// Pages are consumed from the chain's per-disk streaming request (reqs),
+// issued when the chain begins by the I/O threads.
+type spUnit struct {
+	pages   int
+	tuples  int64
+	diskIdx int
+}
+
+// spChainState is the shared execution state of one pipeline chain.
+type spChainState struct {
+	units []spUnit
+	next  int
+	// reqs[d] is the chain's streaming read on disk d: one sequential
+	// request covering every page of the driver-relation partition on
+	// that disk, so seek and latency are paid once per disk per chain.
+	reqs []*simdisk.Request
+	// diskPages[d] is how many pages disk d holds for this chain.
+	diskPages []int
+	// ratios[i] is output tuples per input tuple at stage i of the
+	// chain (stage 0 is the scan).
+	ratios []float64
+	// residues carry fractional tuples per stage.
+	residues []float64
+	// perTupleInstr[i] is the CPU cost to push one stage-i input tuple
+	// through stage i.
+	stageIn  []*plan.Operator
+	finished int // threads done with this chain
+}
+
+// RunSP executes the plan under synchronous pipelining on a single
+// SM-node. It returns an error for multi-node configurations: the paper is
+// explicit that SP "cannot be implemented in shared-nothing".
+func RunSP(tree *plan.Tree, cfg cluster.Config, opt SPOptions) (*metrics.Run, error) {
+	if cfg.Nodes != 1 {
+		return nil, fmt.Errorf("baseline: SP requires a single SM-node, got %d", cfg.Nodes)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	costs := opt.Costs
+	if costs == (plan.Costs{}) {
+		costs = plan.DefaultCosts()
+	}
+	if opt.PagesPerUnit <= 0 {
+		opt.PagesPerUnit = 4
+	}
+
+	k := simtime.NewKernel()
+	cl := cluster.New(k, cfg)
+	run := &metrics.Run{Strategy: "SP", Plan: tree.Name, Config: cfg.String()}
+	rng := xrand.New(opt.Seed ^ 0x5b)
+
+	// Precompute per-chain work units and stage ratios.
+	chains := make([]*spChainState, len(tree.Chains))
+	pageSize := cfg.Disk.PageSize
+	for ci, chain := range tree.Chains {
+		st := &spChainState{}
+		driver := chain[0]
+		rel := driver.Rel
+		tpp := rel.TuplesPerPage(pageSize)
+		card := rel.Cardinality
+		pages := (card + tpp - 1) / tpp
+		disks := len(cl.Nodes[0].Disks)
+		st.diskPages = make([]int, disks)
+		st.reqs = make([]*simdisk.Request, disks)
+		seq := 0
+		for pages > 0 {
+			p := int64(opt.PagesPerUnit)
+			if p > pages {
+				p = pages
+			}
+			t := p * tpp
+			if t > card {
+				t = card
+			}
+			card -= t
+			pages -= p
+			d := seq % disks
+			st.units = append(st.units, spUnit{pages: int(p), tuples: t, diskIdx: d})
+			st.diskPages[d] += int(p)
+			seq++
+		}
+		for _, op := range chain {
+			st.stageIn = append(st.stageIn, op)
+			ratio := 1.0
+			if op.InCard > 0 {
+				ratio = float64(op.OutCard) / float64(op.InCard)
+			}
+			st.ratios = append(st.ratios, ratio)
+		}
+		st.residues = make([]float64, len(chain))
+		chains[ci] = st
+		_ = ci
+	}
+
+	type threadStat struct {
+		busy, ioWait, idle simtime.Duration
+	}
+	stats := make([]*threadStat, cfg.ProcsPerNode)
+	var resultTuples int64
+	var doneTime simtime.Time
+	chainIdx := 0
+	chainCond := k.NewCond("chain")
+
+	// issueChainIO starts every disk read of a chain at once, playing the
+	// paper's dedicated I/O threads ("I/O threads are used to read the
+	// base relations into buffers"); their CPU cost rides on the I/O
+	// threads, not the CPU threads, so it is not charged here.
+	issueChainIO := func(c int) {
+		cs := chains[c]
+		for d, pages := range cs.diskPages {
+			if pages > 0 {
+				cs.reqs[d] = cl.Nodes[0].Disks[d].StartRead(pages)
+			}
+		}
+	}
+	issueChainIO(0)
+
+	charge := func(p *simtime.Proc, s *threadStat, instr int64) {
+		if instr <= 0 {
+			return
+		}
+		d := cfg.InstrTime(instr)
+		s.busy += d
+		p.Delay(d)
+	}
+
+	for ti := 0; ti < cfg.ProcsPerNode; ti++ {
+		ti := ti
+		st := &threadStat{}
+		stats[ti] = st
+		k.Spawn(fmt.Sprintf("sp%d", ti), func(p *simtime.Proc) {
+			myChain := 0
+			for myChain < len(chains) {
+				if myChain != chainIdx {
+					// Wait for the chain barrier.
+					start := p.Now()
+					chainCond.Wait(p)
+					st.idle += p.Now() - start
+					continue
+				}
+				cs := chains[myChain]
+				if cs.next >= len(cs.units) {
+					// No units left: this thread is done with the
+					// chain; the last finisher advances the barrier.
+					cs.finished++
+					if cs.finished == cfg.ProcsPerNode {
+						chainIdx++
+						if chainIdx == len(chains) {
+							doneTime = p.Now()
+						} else {
+							issueChainIO(chainIdx)
+						}
+						chainCond.Broadcast()
+					}
+					myChain++
+					continue
+				}
+				u := cs.units[cs.next]
+				cs.next++
+				req := cs.reqs[u.diskIdx]
+				tpp := cs.stageIn[0].Rel.TuplesPerPage(pageSize)
+				remaining := u.tuples
+				for pg := 0; pg < u.pages; pg++ {
+					for !req.TryRead() {
+						wait := req.NextReadyAt() - p.Now()
+						st.ioWait += wait
+						p.Delay(wait)
+					}
+					in := tpp
+					if in > remaining {
+						in = remaining
+					}
+					remaining -= in
+					// Push the page's tuples through the whole chain
+					// synchronously.
+					flow := float64(in)
+					var instr int64
+					for si, op := range cs.stageIn {
+						exact := cs.residues[si] + flow*cs.ratios[si]
+						out := int64(exact)
+						cs.residues[si] = exact - float64(out)
+						n := int64(flow)
+						switch op.Kind {
+						case plan.Scan:
+							instr += n * costs.ScanTuple
+						case plan.Probe:
+							instr += n*costs.ProbeTuple + out*costs.ResultTuple
+						case plan.Build:
+							instr += n * costs.BuildTuple
+						}
+						if op == tree.Root {
+							resultTuples += out
+						}
+						flow = float64(out)
+					}
+					if opt.SkewVariation > 0 {
+						f := 1 + rng.Range(-opt.SkewVariation, opt.SkewVariation)
+						instr = int64(float64(instr) * f)
+					}
+					charge(p, st, instr)
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("baseline: SP %s: %w", tree.Name, err)
+	}
+	run.ResponseTime = doneTime
+	for _, s := range stats {
+		run.Busy += s.busy
+		run.IOWait += s.ioWait
+		run.Idle += s.idle
+	}
+	run.ResultTuples = resultTuples
+	return run, nil
+}
+
+// RunFP executes the plan under fixed processing: the core engine in FP
+// mode, with per-operator work estimates distorted by errRate (§5.2.1's
+// cost-model error experiments; errRate 0 gives FP the true costs).
+// distortSeed selects the random distortion draw.
+func RunFP(tree *plan.Tree, cfg cluster.Config, errRate float64, distortSeed uint64, mutate func(*core.Options)) (*metrics.Run, error) {
+	costs := plan.DefaultCosts()
+	work := optimizer.DistortedWork(tree, xrand.New(distortSeed), errRate, costs, cfg)
+	opt := core.DefaultOptions(core.FP)
+	opt.FPWork = make([]float64, len(work))
+	for i, w := range work {
+		opt.FPWork[i] = float64(w)
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	return core.Run(tree, cfg, opt)
+}
+
+// RunDP executes the plan under the paper's dynamic-processing model.
+func RunDP(tree *plan.Tree, cfg cluster.Config, mutate func(*core.Options)) (*metrics.Run, error) {
+	opt := core.DefaultOptions(core.DP)
+	if mutate != nil {
+		mutate(&opt)
+	}
+	return core.Run(tree, cfg, opt)
+}

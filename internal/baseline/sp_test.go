@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/xrand"
+)
+
+// testPlan builds a deterministic scaled-down plan on one node.
+func testPlan(t *testing.T, seed uint64, rels, nodes int) *plan.Tree {
+	t.Helper()
+	p := querygen.DefaultParams(nodes)
+	p.Relations = rels
+	p.ClassWeights = [3]float64{1, 0, 0}
+	q := querygen.Generate(xrand.New(seed), "bq", p)
+	for _, r := range q.Relations {
+		r.Cardinality /= 10
+		if r.Cardinality < 100 {
+			r.Cardinality = 100
+		}
+	}
+	for i := range q.Edges {
+		q.Edges[i].Selectivity *= 10
+	}
+	cfg := cluster.DefaultConfig(nodes, 2)
+	o := optimizer.New(plan.DefaultCosts(), cfg)
+	return o.Plans(q, 1, catalog.AllNodes(nodes))[0]
+}
+
+func TestSPCompletes(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := testPlan(t, 1, 4, 1)
+	r, err := RunSP(tree, cfg, DefaultSPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResponseTime <= 0 || r.ResultTuples <= 0 {
+		t.Fatalf("bad run: %+v", r)
+	}
+	if r.Strategy != "SP" {
+		t.Fatalf("strategy %q", r.Strategy)
+	}
+}
+
+func TestSPDeterministic(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := testPlan(t, 2, 4, 1)
+	r1, err := RunSP(tree, cfg, DefaultSPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSP(tree, cfg, DefaultSPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResponseTime != r2.ResponseTime || r1.ResultTuples != r2.ResultTuples {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", r1.ResponseTime, r1.ResultTuples, r2.ResponseTime, r2.ResultTuples)
+	}
+}
+
+func TestSPRejectsMultiNode(t *testing.T) {
+	cfg := cluster.DefaultConfig(2, 2)
+	tree := testPlan(t, 3, 4, 2)
+	if _, err := RunSP(tree, cfg, DefaultSPOptions()); err == nil {
+		t.Fatal("SP accepted a shared-nothing configuration")
+	}
+}
+
+func TestSPResultsMatchDP(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := testPlan(t, 4, 5, 1)
+	sp, err := RunSP(tree, cfg, DefaultSPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := RunDP(tree, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := sp.ResultTuples - dp.ResultTuples
+	if diff < 0 {
+		diff = -diff
+	}
+	if dp.ResultTuples == 0 || float64(diff)/float64(dp.ResultTuples) > 0.02 {
+		t.Fatalf("SP results %d vs DP results %d", sp.ResultTuples, dp.ResultTuples)
+	}
+}
+
+// TestStrategyOrdering checks the paper's Figure 6 relation on one sample:
+// SP <= DP <= FP in shared memory.
+func TestStrategyOrdering(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 8)
+	tree := testPlan(t, 5, 6, 1)
+	sp, err := RunSP(tree, cfg, DefaultSPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := RunDP(tree, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := RunFP(tree, cfg, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ResponseTime > dp.ResponseTime {
+		t.Errorf("SP (%v) slower than DP (%v)", sp.ResponseTime, dp.ResponseTime)
+	}
+	if dp.ResponseTime > fp.ResponseTime {
+		t.Errorf("DP (%v) slower than FP (%v)", dp.ResponseTime, fp.ResponseTime)
+	}
+	t.Logf("SP=%v DP=%v FP=%v", sp.ResponseTime, dp.ResponseTime, fp.ResponseTime)
+	t.Logf("SP busy=%v io=%v idle=%v | DP busy=%v io=%v idle=%v qops=%d",
+		sp.Busy, sp.IOWait, sp.Idle, dp.Busy, dp.IOWait, dp.Idle, dp.QueueOps)
+}
+
+func TestFPDegradesWithCostErrors(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 8)
+	tree := testPlan(t, 6, 6, 1)
+	var exact, distorted float64
+	for seed := uint64(1); seed <= 3; seed++ {
+		r0, err := RunFP(tree, cfg, 0, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r30, err := RunFP(tree, cfg, 0.30, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact += r0.ResponseTime.Seconds()
+		distorted += r30.ResponseTime.Seconds()
+	}
+	// Averaged over distortion draws, a 30% cost-model error must not
+	// make FP faster (Figure 7 shows it degrading).
+	if distorted < exact*0.98 {
+		t.Fatalf("FP with 30%% errors (%.3fs) beat exact FP (%.3fs)", distorted, exact)
+	}
+}
+
+func TestSPSkewVariation(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := testPlan(t, 7, 4, 1)
+	opt := DefaultSPOptions()
+	opt.SkewVariation = 0.5
+	r, err := RunSP(tree, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results under skew variation")
+	}
+}

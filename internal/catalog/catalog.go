@@ -1,0 +1,156 @@
+// Package catalog models base relations and their physical placement.
+//
+// Relations are horizontally partitioned across SM-nodes, and within each
+// node across disks, by hashing a partitioning attribute (§2.1). For the
+// experiments the paper assumes every relation is fully partitioned across
+// all SM-nodes (§5.1.2); the catalog supports arbitrary homes so the plan
+// layer can also express Figure 2-style placements.
+package catalog
+
+import (
+	"fmt"
+
+	"hierdb/internal/xrand"
+)
+
+// SizeClass is the paper's three relation-size categories (§5.1.2).
+type SizeClass int
+
+const (
+	// Small relations have 10K-20K tuples.
+	Small SizeClass = iota
+	// Medium relations have 100K-200K tuples.
+	Medium
+	// Large relations have 1M-2M tuples.
+	Large
+)
+
+// String implements fmt.Stringer.
+func (s SizeClass) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("SizeClass(%d)", int(s))
+}
+
+// Bounds returns the inclusive cardinality range of the class.
+func (s SizeClass) Bounds() (lo, hi int64) {
+	switch s {
+	case Small:
+		return 10_000, 20_000
+	case Medium:
+		return 100_000, 200_000
+	case Large:
+		return 1_000_000, 2_000_000
+	}
+	panic("catalog: unknown size class")
+}
+
+// DefaultTupleBytes is the tuple width used throughout the reproduction.
+// The paper does not state one; 100 bytes makes its 12-relation workloads
+// total ≈1.3 GB of base data as reported in §5.1.2.
+const DefaultTupleBytes = 100
+
+// Relation is a base relation.
+type Relation struct {
+	// Name identifies the relation in plans and traces.
+	Name string
+	// Cardinality is the number of tuples.
+	Cardinality int64
+	// TupleBytes is the width of one tuple in bytes.
+	TupleBytes int64
+	// Home is the set of SM-node IDs storing partitions (§2.1). Order is
+	// not significant but is kept deterministic.
+	Home []int
+	// PlacementSkew is the Zipf factor of tuple-placement skew across the
+	// home nodes: 0 means perfectly uniform partitions (the default),
+	// higher values concentrate tuples on the first home nodes
+	// ([Walton91] attribute-value / tuple-placement skew).
+	PlacementSkew float64
+}
+
+// Bytes returns the total size of the relation in bytes.
+func (r *Relation) Bytes() int64 { return r.Cardinality * r.TupleBytes }
+
+// Pages returns the number of pages of the given size the relation
+// occupies, rounding up.
+func (r *Relation) Pages(pageSize int64) int64 {
+	if pageSize <= 0 {
+		panic("catalog: non-positive page size")
+	}
+	return (r.Bytes() + pageSize - 1) / pageSize
+}
+
+// TuplesPerPage returns how many tuples fit in one page (at least 1).
+func (r *Relation) TuplesPerPage(pageSize int64) int64 {
+	n := pageSize / r.TupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PartitionCards returns the per-home-node tuple counts. With zero
+// placement skew the split is as even as largest-remainder rounding allows;
+// otherwise the counts follow a Zipf distribution over the home nodes.
+func (r *Relation) PartitionCards() []int64 {
+	if len(r.Home) == 0 {
+		return nil
+	}
+	z := xrand.NewZipf(len(r.Home), r.PlacementSkew)
+	return z.Apportion(r.Cardinality)
+}
+
+// Validate checks the relation for obvious mistakes.
+func (r *Relation) Validate() error {
+	switch {
+	case r.Name == "":
+		return fmt.Errorf("catalog: relation without a name")
+	case r.Cardinality <= 0:
+		return fmt.Errorf("catalog: %s: cardinality %d", r.Name, r.Cardinality)
+	case r.TupleBytes <= 0:
+		return fmt.Errorf("catalog: %s: tuple bytes %d", r.Name, r.TupleBytes)
+	case len(r.Home) == 0:
+		return fmt.Errorf("catalog: %s: empty home", r.Name)
+	case r.PlacementSkew < 0:
+		return fmt.Errorf("catalog: %s: negative placement skew", r.Name)
+	}
+	seen := make(map[int]bool)
+	for _, n := range r.Home {
+		if n < 0 {
+			return fmt.Errorf("catalog: %s: negative node id %d", r.Name, n)
+		}
+		if seen[n] {
+			return fmt.Errorf("catalog: %s: duplicate home node %d", r.Name, n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// AllNodes returns the home [0, 1, ..., n-1] used by the paper's
+// experiments (relations fully partitioned across all SM-nodes).
+func AllNodes(n int) []int {
+	home := make([]int, n)
+	for i := range home {
+		home[i] = i
+	}
+	return home
+}
+
+// Random draws a relation of the given class using r, named name, homed on
+// home.
+func Random(r *xrand.Rand, name string, class SizeClass, home []int) *Relation {
+	lo, hi := class.Bounds()
+	return &Relation{
+		Name:        name,
+		Cardinality: r.Int64Range(lo, hi),
+		TupleBytes:  DefaultTupleBytes,
+		Home:        home,
+	}
+}

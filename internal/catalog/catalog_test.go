@@ -1,0 +1,150 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hierdb/internal/xrand"
+)
+
+func TestSizeClassBounds(t *testing.T) {
+	cases := []struct {
+		c      SizeClass
+		lo, hi int64
+	}{
+		{Small, 10_000, 20_000},
+		{Medium, 100_000, 200_000},
+		{Large, 1_000_000, 2_000_000},
+	}
+	for _, c := range cases {
+		lo, hi := c.c.Bounds()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v bounds = %d..%d", c.c, lo, hi)
+		}
+	}
+}
+
+func TestSizeClassString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Error("bad class names")
+	}
+}
+
+func TestPagesRoundUp(t *testing.T) {
+	r := &Relation{Name: "r", Cardinality: 81, TupleBytes: 100, Home: []int{0}}
+	// 8100 bytes over 8192-byte pages = 1 page.
+	if p := r.Pages(8192); p != 1 {
+		t.Errorf("Pages = %d", p)
+	}
+	r.Cardinality = 82 // 8200 bytes -> 2 pages
+	if p := r.Pages(8192); p != 2 {
+		t.Errorf("Pages = %d", p)
+	}
+}
+
+func TestTuplesPerPage(t *testing.T) {
+	r := &Relation{Name: "r", Cardinality: 1, TupleBytes: 100, Home: []int{0}}
+	if n := r.TuplesPerPage(8192); n != 81 {
+		t.Errorf("TuplesPerPage = %d", n)
+	}
+	r.TupleBytes = 10000 // wider than a page
+	if n := r.TuplesPerPage(8192); n != 1 {
+		t.Errorf("TuplesPerPage = %d", n)
+	}
+}
+
+func TestPartitionCardsUniform(t *testing.T) {
+	r := &Relation{Name: "r", Cardinality: 100, TupleBytes: 100, Home: AllNodes(4)}
+	parts := r.PartitionCards()
+	var sum int64
+	for _, p := range parts {
+		if p != 25 {
+			t.Errorf("uniform partition = %v", parts)
+		}
+		sum += p
+	}
+	if sum != 100 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestPartitionCardsSkewed(t *testing.T) {
+	r := &Relation{Name: "r", Cardinality: 10000, TupleBytes: 100, Home: AllNodes(4), PlacementSkew: 1}
+	parts := r.PartitionCards()
+	if parts[0] <= parts[3] {
+		t.Errorf("skewed partitions not decreasing: %v", parts)
+	}
+	var sum int64
+	for _, p := range parts {
+		sum += p
+	}
+	if sum != 10000 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestPartitionCardsSumQuick(t *testing.T) {
+	f := func(card uint32, nodesRaw uint8, skewRaw uint8) bool {
+		nodes := int(nodesRaw%8) + 1
+		r := &Relation{
+			Name:          "q",
+			Cardinality:   int64(card%1_000_000) + 1,
+			TupleBytes:    100,
+			Home:          AllNodes(nodes),
+			PlacementSkew: float64(skewRaw%11) / 10,
+		}
+		parts := r.PartitionCards()
+		var sum int64
+		for _, p := range parts {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return sum == r.Cardinality && len(parts) == nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Relation{Name: "g", Cardinality: 10, TupleBytes: 100, Home: []int{0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Relation{
+		{Cardinality: 10, TupleBytes: 100, Home: []int{0}},
+		{Name: "b", Cardinality: 0, TupleBytes: 100, Home: []int{0}},
+		{Name: "b", Cardinality: 10, TupleBytes: 0, Home: []int{0}},
+		{Name: "b", Cardinality: 10, TupleBytes: 100},
+		{Name: "b", Cardinality: 10, TupleBytes: 100, Home: []int{0, 0}},
+		{Name: "b", Cardinality: 10, TupleBytes: 100, Home: []int{-1}},
+		{Name: "b", Cardinality: 10, TupleBytes: 100, Home: []int{0}, PlacementSkew: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestRandomRespectsClass(t *testing.T) {
+	r := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		rel := Random(r, "x", Medium, AllNodes(2))
+		if rel.Cardinality < 100_000 || rel.Cardinality > 200_000 {
+			t.Fatalf("medium cardinality %d", rel.Cardinality)
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllNodes(t *testing.T) {
+	h := AllNodes(3)
+	if len(h) != 3 || h[0] != 0 || h[1] != 1 || h[2] != 2 {
+		t.Fatalf("AllNodes = %v", h)
+	}
+}

@@ -1,0 +1,130 @@
+// Package cluster assembles the hierarchical architecture of §2.1 of the
+// paper: a shared-nothing collection of SM-nodes, each a shared-memory
+// multiprocessor with one disk unit per processor, connected by a
+// message-passing network. It owns the processor-speed accounting (the
+// paper's KSR1 processors run at 40 MIPS).
+package cluster
+
+import (
+	"fmt"
+
+	"hierdb/internal/simdisk"
+	"hierdb/internal/simnet"
+	"hierdb/internal/simtime"
+)
+
+// Config describes a hierarchical configuration, e.g. 4 SM-nodes of 8
+// processors each (written "4x8" in the paper's figures).
+type Config struct {
+	// Nodes is the number of SM-nodes.
+	Nodes int
+	// ProcsPerNode is the number of processors (and execution threads,
+	// and disks) per SM-node.
+	ProcsPerNode int
+	// MIPS is the processor speed in millions of instructions per second
+	// (paper: 40).
+	MIPS int
+	// MemoryPerNode is the shared memory available per SM-node in bytes,
+	// used to bound load-sharing acquisitions (condition (i) of §3.2).
+	MemoryPerNode int64
+	// Disk and Net are the device parameter tables.
+	Disk simdisk.Params
+	Net  simnet.Params
+}
+
+// DefaultConfig returns a configuration with the paper's parameter tables
+// and the given topology.
+func DefaultConfig(nodes, procsPerNode int) Config {
+	return Config{
+		Nodes:         nodes,
+		ProcsPerNode:  procsPerNode,
+		MIPS:          40,
+		MemoryPerNode: 512 << 20,
+		Disk:          simdisk.DefaultParams(),
+		Net:           simnet.DefaultParams(),
+	}
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes = %d, must be positive", c.Nodes)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("cluster: ProcsPerNode = %d, must be positive", c.ProcsPerNode)
+	case c.MIPS <= 0:
+		return fmt.Errorf("cluster: MIPS = %d, must be positive", c.MIPS)
+	case c.MemoryPerNode <= 0:
+		return fmt.Errorf("cluster: MemoryPerNode = %d, must be positive", c.MemoryPerNode)
+	}
+	return nil
+}
+
+// TotalProcs returns Nodes * ProcsPerNode.
+func (c Config) TotalProcs() int { return c.Nodes * c.ProcsPerNode }
+
+// String formats the topology the way the paper labels its figures.
+func (c Config) String() string {
+	return fmt.Sprintf("%dx%d", c.Nodes, c.ProcsPerNode)
+}
+
+// InstrTime converts an instruction count to virtual time at the configured
+// processor speed.
+func (c Config) InstrTime(instr int64) simtime.Duration {
+	if instr <= 0 {
+		return 0
+	}
+	// ns = instr * 1000 / MIPS; with MIPS=40 this is instr*25 ns.
+	return simtime.Duration(instr * 1000 / int64(c.MIPS))
+}
+
+// Node is one SM-node: shared memory, ProcsPerNode processors, one disk per
+// processor.
+type Node struct {
+	ID    int
+	Disks []*simdisk.Disk
+}
+
+// Cluster is an instantiated hierarchical machine bound to a simulation
+// kernel.
+type Cluster struct {
+	Cfg   Config
+	K     *simtime.Kernel
+	Net   *simnet.Network
+	Nodes []*Node
+}
+
+// New instantiates the machine on kernel k. It panics if cfg is invalid;
+// use Config.Validate to check beforehand.
+func New(k *simtime.Kernel, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{
+		Cfg: cfg,
+		K:   k,
+		Net: simnet.New(k, cfg.Net),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{ID: n}
+		for p := 0; p < cfg.ProcsPerNode; p++ {
+			node.Disks = append(node.Disks, simdisk.New(k, cfg.Disk))
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// DiskStats sums the counters of every disk in the cluster.
+func (c *Cluster) DiskStats() simdisk.Stats {
+	var s simdisk.Stats
+	for _, n := range c.Nodes {
+		for _, d := range n.Disks {
+			ds := d.Stats()
+			s.Requests += ds.Requests
+			s.PagesRead += ds.PagesRead
+			s.Busy += ds.Busy
+		}
+	}
+	return s
+}

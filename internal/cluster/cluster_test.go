@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hierdb/internal/simtime"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(4, 8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MIPS != 40 {
+		t.Errorf("MIPS = %d", c.MIPS)
+	}
+	if c.TotalProcs() != 32 {
+		t.Errorf("TotalProcs = %d", c.TotalProcs())
+	}
+	if c.String() != "4x8" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, ProcsPerNode: 1, MIPS: 40, MemoryPerNode: 1},
+		{Nodes: 1, ProcsPerNode: 0, MIPS: 40, MemoryPerNode: 1},
+		{Nodes: 1, ProcsPerNode: 1, MIPS: 0, MemoryPerNode: 1},
+		{Nodes: 1, ProcsPerNode: 1, MIPS: 40, MemoryPerNode: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+}
+
+func TestInstrTimeAt40MIPS(t *testing.T) {
+	c := DefaultConfig(1, 1)
+	// 40 MIPS = 25 ns per instruction.
+	if d := c.InstrTime(1); d != 25*simtime.Nanosecond {
+		t.Errorf("InstrTime(1) = %v", d)
+	}
+	if d := c.InstrTime(40_000_000); d != simtime.Second {
+		t.Errorf("InstrTime(40M) = %v, want 1s", d)
+	}
+	if d := c.InstrTime(0); d != 0 {
+		t.Errorf("InstrTime(0) = %v", d)
+	}
+	if d := c.InstrTime(-5); d != 0 {
+		t.Errorf("InstrTime(-5) = %v", d)
+	}
+}
+
+func TestInstrTimeMonotoneQuick(t *testing.T) {
+	c := DefaultConfig(1, 1)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.InstrTime(x) <= c.InstrTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBuildsTopology(t *testing.T) {
+	k := simtime.NewKernel()
+	c := New(k, DefaultConfig(3, 4))
+	if len(c.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if len(n.Disks) != 4 {
+			t.Errorf("node %d has %d disks", i, len(n.Disks))
+		}
+	}
+	if c.Net == nil {
+		t.Fatal("no network")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(simtime.NewKernel(), Config{})
+}
+
+func TestDiskStatsAggregate(t *testing.T) {
+	k := simtime.NewKernel()
+	c := New(k, DefaultConfig(2, 2))
+	c.Nodes[0].Disks[0].StartRead(3)
+	c.Nodes[1].Disks[1].StartRead(2)
+	s := c.DiskStats()
+	if s.Requests != 2 || s.PagesRead != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

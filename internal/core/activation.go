@@ -1,0 +1,144 @@
+package core
+
+// This file defines activations, the paper's self-contained units of
+// sequential work (§3.1). A trigger activation carries a (scan operator,
+// page range, disk) reference; a data activation carries an (operator,
+// tuple batch, bucket) reference. Activations are resumable: their
+// execution state lives in the struct so a thread can suspend one (output
+// queue full, disk page not ready) and pick other work, which is the
+// role procedure-call suspension plays in the paper.
+
+import "hierdb/internal/simdisk"
+
+type actKind int
+
+const (
+	// trigger starts a leaf (scan) operator on a page range.
+	trigger actKind = iota
+	// data carries a batch of pipelined tuples for a build or probe.
+	data
+)
+
+// activation is one unit of sequential work.
+type activation struct {
+	op   *opState
+	kind actKind
+	// node is the SM-node currently holding the activation.
+	node int
+
+	// Trigger state: pages to read from disk diskIdx, covering tuples
+	// base-relation tuples.
+	pages     int
+	tuples    int64
+	diskIdx   int
+	req       *simdisk.Request
+	pagesDone int
+
+	// Data state: dataTuples input tuples destined to bucket.
+	bucket     int
+	dataTuples int64
+	cpuCharged bool
+
+	// Emission state: output tuples not yet packed into a batch, and the
+	// batch currently awaiting queue space or network credit.
+	emitRemaining int64
+	pending       *batch
+
+	// recvInstr is CPU to charge to the dequeuing thread when the
+	// activation arrived over the network (§5.1.1 receive cost).
+	recvInstr int64
+	// srcNode is the producing node for credit-return purposes; -1 when
+	// produced locally.
+	srcNode int
+	// stolen marks activations acquired through global load balancing.
+	stolen bool
+}
+
+// batch is a group of output tuples bound for one bucket of the consumer
+// operator.
+type batch struct {
+	consumer *opState
+	bucket   int
+	tuples   int64
+	dstNode  int
+}
+
+// activationHeaderBytes is the on-wire size of an activation descriptor.
+const activationHeaderBytes = 32
+
+// bytes returns the activation's transfer size.
+func (a *activation) bytes() int64 {
+	switch a.kind {
+	case trigger:
+		return activationHeaderBytes
+	default:
+		return activationHeaderBytes + a.dataTuples*a.op.op.TupleBytes
+	}
+}
+
+func batchBytes(tuples, tupleBytes int64) int64 {
+	return activationHeaderBytes + tuples*tupleBytes
+}
+
+// queue is a bounded FIFO of activations. One queue exists per (operator,
+// thread) on every home node of the operator (§3.1); capacity bounds
+// memory growth and provides the flow control synchronizing producers and
+// consumers in a pipeline chain.
+type queue struct {
+	op   *opState
+	node int
+	idx  int
+
+	items []*activation
+	head  int
+}
+
+func (q *queue) len() int { return len(q.items) - q.head }
+
+func (q *queue) empty() bool { return q.len() == 0 }
+
+// full reports whether the queue is at capacity for producer flow control.
+func (q *queue) full(capacity int) bool { return q.len() >= capacity }
+
+func (q *queue) push(a *activation) {
+	q.items = append(q.items, a)
+}
+
+func (q *queue) pop() *activation {
+	if q.empty() {
+		return nil
+	}
+	a := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return a
+}
+
+// popAll removes and returns every queued activation (used by load
+// sharing when a queue is stolen).
+func (q *queue) popAll() []*activation {
+	return q.popN(q.len())
+}
+
+// popN removes and returns up to n activations from the front.
+func (q *queue) popN(n int) []*activation {
+	if n > q.len() {
+		n = q.len()
+	}
+	out := make([]*activation, 0, n)
+	for len(out) < n {
+		out = append(out, q.pop())
+	}
+	return out
+}
+
+// consumable reports whether threads may consume from the queue: the
+// operator must have started (scheduling constraints satisfied, §3.1
+// "blocked queues") and not yet terminated.
+func (q *queue) consumable() bool {
+	return q.op.started && !q.op.terminating && !q.empty()
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/metrics"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+// smallQuery builds a deterministic query with rels relations whose
+// cardinalities are scaled down for fast tests.
+func smallQuery(seed uint64, rels, nodes int) *querygen.Query {
+	p := querygen.DefaultParams(nodes)
+	p.Relations = rels
+	p.ClassWeights = [3]float64{1, 0, 0} // small relations only
+	q := querygen.Generate(xrand.New(seed), "tq", p)
+	// Scale cardinalities down 10x so unit tests stay fast, and scale
+	// selectivities up 10x so join results keep the generated
+	// 0.5-1.5x-of-larger-operand shape at the new scale
+	// (r' = 10*sel * (ca/10)(cb/10) = r/10).
+	for _, r := range q.Relations {
+		r.Cardinality /= 10
+		if r.Cardinality < 100 {
+			r.Cardinality = 100
+		}
+	}
+	for i := range q.Edges {
+		q.Edges[i].Selectivity *= 10
+	}
+	return q
+}
+
+func smallPlan(t *testing.T, seed uint64, rels, nodes int) *plan.Tree {
+	t.Helper()
+	cfg := cluster.DefaultConfig(nodes, 2)
+	q := smallQuery(seed, rels, nodes)
+	opt := optimizer.New(plan.DefaultCosts(), cfg)
+	plans := opt.Plans(q, 1, catalog.AllNodes(nodes))
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	return plans[0]
+}
+
+func runDP(t *testing.T, tree *plan.Tree, cfg cluster.Config, mutate func(*Options)) *metrics.Run {
+	t.Helper()
+	opt := DefaultOptions(DP)
+	if mutate != nil {
+		mutate(&opt)
+	}
+	r, err := Run(tree, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func runFP(t *testing.T, tree *plan.Tree, cfg cluster.Config, errRate float64, mutate func(*Options)) *metrics.Run {
+	t.Helper()
+	opt := DefaultOptions(FP)
+	work := optimizer.DistortedWork(tree, xrand.New(99), errRate, plan.DefaultCosts(), cfg)
+	opt.FPWork = make([]float64, len(work))
+	for i, w := range work {
+		opt.FPWork[i] = float64(w)
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	r, err := Run(tree, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDPSingleNodeCompletes(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 1, 4, 1)
+	r := runDP(t, tree, cfg, nil)
+	if r.ResponseTime <= 0 {
+		t.Fatalf("response time %v", r.ResponseTime)
+	}
+	if r.ResultTuples <= 0 {
+		t.Fatalf("no result tuples")
+	}
+	if r.Busy <= 0 {
+		t.Fatalf("no busy time")
+	}
+	// Single node: no network traffic at all.
+	if r.TotalBytes() != 0 {
+		t.Fatalf("single-node run sent %d bytes", r.TotalBytes())
+	}
+}
+
+func TestDPDeterministic(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 2, 4, 1)
+	r1 := runDP(t, tree, cfg, nil)
+	r2 := runDP(t, tree, cfg, nil)
+	if r1.ResponseTime != r2.ResponseTime {
+		t.Fatalf("nondeterministic: %v vs %v", r1.ResponseTime, r2.ResponseTime)
+	}
+	if r1.ResultTuples != r2.ResultTuples || r1.QueueOps != r2.QueueOps {
+		t.Fatalf("counters differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestDPResultMatchesEstimate(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 3, 4, 1)
+	r := runDP(t, tree, cfg, nil)
+	est := tree.Root.OutCard
+	// Counts-based simulation with residue carry: result within 1% of
+	// the estimate (batching may clip the final fractions).
+	lo, hi := est*99/100-2, est*101/100+2
+	if r.ResultTuples < lo || r.ResultTuples > hi {
+		t.Fatalf("results %d outside [%d, %d] (estimate %d)", r.ResultTuples, lo, hi, est)
+	}
+}
+
+func TestDPMoreProcessorsFaster(t *testing.T) {
+	tree := smallPlan(t, 4, 5, 1)
+	r2 := runDP(t, tree, cluster.DefaultConfig(1, 2), nil)
+	r8 := runDP(t, tree, cluster.DefaultConfig(1, 8), nil)
+	if r8.ResponseTime >= r2.ResponseTime {
+		t.Fatalf("8 procs (%v) not faster than 2 (%v)", r8.ResponseTime, r2.ResponseTime)
+	}
+}
+
+func TestDPMultiNodeCompletes(t *testing.T) {
+	cfg := cluster.DefaultConfig(2, 2)
+	tree := smallPlan(t, 5, 4, 2)
+	r := runDP(t, tree, cfg, nil)
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results")
+	}
+	if r.PipelineBytes == 0 {
+		t.Fatal("multi-node run produced no pipeline traffic")
+	}
+	if r.ControlMsgs == 0 {
+		t.Fatal("no control messages (end-of-operator protocol missing)")
+	}
+}
+
+func TestMultiNodeResultsMatchSingleNode(t *testing.T) {
+	// The same plan must produce the same result cardinality regardless
+	// of the topology.
+	tree1 := smallPlan(t, 6, 4, 1)
+	r1 := runDP(t, tree1, cluster.DefaultConfig(1, 4), nil)
+
+	q := smallQuery(6, 4, 2)
+	cfg2 := cluster.DefaultConfig(2, 2)
+	opt := optimizer.New(plan.DefaultCosts(), cfg2)
+	tree2 := opt.Plans(q, 1, catalog.AllNodes(2))[0]
+	r2 := runDP(t, tree2, cfg2, nil)
+
+	diff := r1.ResultTuples - r2.ResultTuples
+	if diff < 0 {
+		diff = -diff
+	}
+	if r1.ResultTuples == 0 || float64(diff)/float64(r1.ResultTuples) > 0.02 {
+		t.Fatalf("result cardinality diverges: 1 node %d vs 2 nodes %d", r1.ResultTuples, r2.ResultTuples)
+	}
+}
+
+func TestFPCompletesAndIsSlowerWithFewThreads(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 7, 5, 1)
+	dp := runDP(t, tree, cfg, nil)
+	fp := runFP(t, tree, cfg, 0, nil)
+	if fp.ResultTuples != dp.ResultTuples {
+		t.Fatalf("FP results %d != DP results %d", fp.ResultTuples, dp.ResultTuples)
+	}
+	// FP suffers discretization: it must not beat DP, and typically has
+	// more idle time.
+	if fp.ResponseTime < dp.ResponseTime {
+		t.Fatalf("FP (%v) beat DP (%v)", fp.ResponseTime, dp.ResponseTime)
+	}
+	if fp.Idle <= dp.Idle {
+		t.Logf("note: FP idle %v vs DP idle %v", fp.Idle, dp.Idle)
+	}
+}
+
+func TestSkewDoesNotBreakDP(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 8, 4, 1)
+	r0 := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 0 })
+	r1 := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 1 })
+	if r1.ResultTuples <= 0 {
+		t.Fatal("skewed run lost tuples")
+	}
+	// Fig 9: DP degrades only mildly under skew (allow 40% here; small
+	// test plans exaggerate granularity effects).
+	if float64(r1.ResponseTime) > 1.4*float64(r0.ResponseTime) {
+		t.Fatalf("skew degraded DP by %.2fx", float64(r1.ResponseTime)/float64(r0.ResponseTime))
+	}
+}
+
+func TestGlobalLBMovesWorkUnderSkew(t *testing.T) {
+	cfg := cluster.DefaultConfig(4, 2)
+	tree := smallPlan(t, 9, 5, 4)
+	on := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 0.8 })
+	off := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 0.8; o.GlobalLB = false })
+	// Stolen activations round their output through a different node's
+	// residue accumulator, so allow sub-percent drift.
+	diff := on.ResultTuples - off.ResultTuples
+	if diff < 0 {
+		diff = -diff
+	}
+	if off.ResultTuples == 0 || float64(diff)/float64(off.ResultTuples) > 0.005 {
+		t.Fatalf("results differ with/without global LB: %d vs %d", on.ResultTuples, off.ResultTuples)
+	}
+	if on.StealRounds == 0 {
+		t.Log("note: no starving rounds occurred on this workload")
+	}
+	if off.BalanceBytes != 0 {
+		t.Fatalf("global LB disabled but %d balance bytes moved", off.BalanceBytes)
+	}
+}
+
+func TestQueuePerThreadAblation(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 10, 4, 1)
+	multi := runDP(t, tree, cfg, nil)
+	single := runDP(t, tree, cfg, func(o *Options) { o.QueuePerThread = false })
+	if single.ResultTuples != multi.ResultTuples {
+		t.Fatalf("results differ: %d vs %d", single.ResultTuples, multi.ResultTuples)
+	}
+}
+
+func TestPrimaryQueuesAblation(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 11, 4, 1)
+	with := runDP(t, tree, cfg, nil)
+	without := runDP(t, tree, cfg, func(o *Options) { o.PrimaryQueues = false })
+	if with.ResultTuples != without.ResultTuples {
+		t.Fatalf("results differ: %d vs %d", with.ResultTuples, without.ResultTuples)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := DefaultOptions(DP)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fp := DefaultOptions(FP)
+	if err := fp.Validate(); err == nil {
+		t.Fatal("FP without FPWork accepted")
+	}
+	bad := DefaultOptions(DP)
+	bad.QueueCapacity = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero queue capacity accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DP.String() != "DP" || FP.String() != "FP" {
+		t.Error("bad mode names")
+	}
+}
+
+func TestBusyPlusIdleBounded(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 12, 4, 1)
+	r := runDP(t, tree, cfg, nil)
+	// Total thread time cannot exceed procs x response time (plus the
+	// tail of the last activation each thread was charging when the
+	// query ended).
+	total := r.Busy + r.Idle + r.IOWait
+	limit := r.ResponseTime*simtime.Duration(cfg.TotalProcs()) + simtime.Duration(cfg.TotalProcs())*10*simtime.Millisecond
+	if total > limit {
+		t.Fatalf("busy+idle+iowait %v exceeds procs x response %v", total, limit)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simtime"
+)
+
+// chainPlanForDebug mirrors experiments.ChainPlan without the import.
+func chainPlanForDebug(ops, nodes int, div int64) *plan.Tree {
+	home := catalog.AllNodes(nodes)
+	big := &catalog.Relation{Name: "DRIVER", Cardinality: 1_000_000 / div, TupleBytes: 100, Home: home}
+	rels := []*catalog.Relation{big}
+	var edges []querygen.Edge
+	for i := 0; i < ops-1; i++ {
+		small := &catalog.Relation{Name: fmt.Sprintf("DIM%d", i+1), Cardinality: 20_000 / div, TupleBytes: 100, Home: home}
+		rels = append(rels, small)
+		edges = append(edges, querygen.Edge{A: 0, B: i + 1, Selectivity: 1 / float64(small.Cardinality)})
+	}
+	q := &querygen.Query{Name: "chain", Relations: rels, Edges: edges}
+	node := &plan.JoinNode{Rel: big}
+	for i := 0; i < ops-1; i++ {
+		node = &plan.JoinNode{Left: node, Right: &plan.JoinNode{Rel: rels[i+1]}, Selectivity: edges[i].Selectivity}
+	}
+	return plan.Expand("chain", q, node, home)
+}
+
+// TestDebugChainTrace dumps engine state periodically for the §5.3
+// transfer scenario. Enable with HIERDB_DEBUG=1.
+func TestDebugChainTrace(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1")
+	}
+	cfg := cluster.DefaultConfig(4, 2)
+	tree := chainPlanForDebug(5, 4, 10)
+	t.Log(tree.String())
+	opt := DefaultOptions(DP)
+	opt.RedistributionSkew = 0.8
+	k := simtime.NewKernel()
+	cl := cluster.New(k, cfg)
+	e, err := newEngine(k, cl, tree, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump func()
+	dump = func() {
+		if e.done {
+			return
+		}
+		for _, op := range e.ops {
+			if op.terminated {
+				continue
+			}
+			queued := 0
+			for _, on := range op.perNode {
+				for _, qq := range on.queues {
+					queued += qq.len()
+				}
+			}
+			t.Logf("t=%v op=%s started=%v terminating=%v prodDone=%v outstanding=%d queued=%d",
+				k.Now(), op.op.Name, op.started, op.terminating, op.producerDone, op.outstanding, queued)
+		}
+		t.Logf("  stealRounds=%d ok=%d stolen=%d", e.run.StealRounds, e.run.StealsSucceeded, e.run.StolenActivations)
+		for _, n := range e.nodes {
+			var susp int
+			for _, th := range n.threads {
+				susp += len(th.suspended)
+			}
+			t.Logf("  node %d: queued=%d suspended=%d stealOutstanding=%v", n.id, n.queuedActivations(), susp, n.stealOutstanding)
+		}
+		k.After(2*simtime.Second, dump)
+	}
+	k.After(2*simtime.Second, dump)
+	k.After(20*simtime.Second, func() { panic("abort") })
+	func() {
+		defer func() { recover() }()
+		_ = k.Run()
+	}()
+	if e.done {
+		t.Logf("completed at %v", e.doneTime)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/simtime"
+)
+
+// TestDebugTrace runs a 2-node configuration with periodic state dumps of
+// every operator — a diagnostic harness for engine hangs. Enabled with
+// HIERDB_DEBUG=1.
+func TestDebugTrace(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1 to run the trace")
+	}
+	nodes := 2
+	cfg := cluster.DefaultConfig(nodes, 2)
+	q := smallQuery(6, 4, nodes)
+	o := optimizer.New(plan.DefaultCosts(), cfg)
+	tree := o.Plans(q, 1, catalog.AllNodes(nodes))[0]
+	t.Log(tree.String())
+
+	opt := DefaultOptions(DP)
+	k := simtime.NewKernel()
+	cl := cluster.New(k, cfg)
+	e, err := newEngine(k, cl, tree, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump func()
+	dump = func() {
+		if e.done {
+			return
+		}
+		for _, op := range e.ops {
+			if op.terminated {
+				continue
+			}
+			queued := 0
+			for _, on := range op.perNode {
+				for _, qq := range on.queues {
+					queued += qq.len()
+				}
+			}
+			t.Logf("t=%v op=%s started=%v terminating=%v prodDone=%v outstanding=%d queued=%d",
+				k.Now(), op.op.Name, op.started, op.terminating, op.producerDone, op.outstanding, queued)
+		}
+		t.Logf("t=%v stealRounds=%d stealOK=%d", k.Now(), e.run.StealRounds, e.run.StealsSucceeded)
+		var suspendedInfo string
+		for _, n := range e.nodes {
+			for _, th := range n.threads {
+				for _, a := range th.suspended {
+					suspendedInfo += a.op.op.Name + " "
+				}
+			}
+		}
+		t.Logf("  suspended: %s", suspendedInfo)
+		k.After(200*simtime.Millisecond, dump)
+	}
+	k.After(200*simtime.Millisecond, dump)
+	k.After(5*simtime.Second, func() {
+		if !e.done {
+			t.Log("aborting at 5 virtual seconds")
+			panic("abort")
+		}
+	})
+	func() {
+		defer func() { recover() }()
+		_ = k.Run()
+	}()
+}

@@ -1,0 +1,555 @@
+package core
+
+// Engine construction, operator lifecycle (start, unblock, end-of-operator
+// detection) and the data-movement plumbing shared by threads.
+
+import (
+	"fmt"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/metrics"
+	"hierdb/internal/plan"
+	"hierdb/internal/simnet"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+// controlMsgBytes is the size of protocol messages (starving, offers,
+// end-of-operator coordination, credits).
+const controlMsgBytes = 64
+
+// Engine executes one parallel execution plan on one cluster under one
+// option set. Engines are single-use.
+type Engine struct {
+	k     *simtime.Kernel
+	cl    *cluster.Cluster
+	tree  *plan.Tree
+	opt   Options
+	costs plan.Costs
+
+	ops   []*opState
+	nodes []*engNode
+
+	batchTuples int64
+
+	done     bool
+	doneTime simtime.Time
+	rootOp   *opState
+
+	run metrics.Run
+}
+
+// Run executes tree on a fresh cluster built from cfg and returns the
+// measurement record. The execution is deterministic in (tree, cfg, opt).
+func Run(tree *plan.Tree, cfg cluster.Config, opt Options) (*metrics.Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	k := simtime.NewKernel()
+	cl := cluster.New(k, cfg)
+	e, err := newEngine(k, cl, tree, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", tree.Name, cfg, err)
+	}
+	if !e.done {
+		return nil, fmt.Errorf("core: %s on %s: kernel drained before query end", tree.Name, cfg)
+	}
+	e.finishMetrics()
+	return &e.run, nil
+}
+
+func newEngine(k *simtime.Kernel, cl *cluster.Cluster, tree *plan.Tree, opt Options) (*Engine, error) {
+	e := &Engine{k: k, cl: cl, tree: tree, opt: opt, costs: opt.Costs}
+	if e.costs == (plan.Costs{}) {
+		e.costs = plan.DefaultCosts()
+	}
+	e.batchTuples = int64(opt.BatchTuples)
+	if e.batchTuples <= 0 {
+		e.batchTuples = cl.Cfg.Disk.PageSize / tree.Ops[0].TupleBytes
+		if e.batchTuples < 1 {
+			e.batchTuples = 1
+		}
+	}
+	e.run.Strategy = opt.Mode.String()
+	e.run.Plan = tree.Name
+	e.run.Config = cl.Cfg.String()
+
+	rng := xrand.New(opt.Seed ^ 0x5ca1ab1e)
+
+	// SM-node state.
+	for n := 0; n < cl.Cfg.Nodes; n++ {
+		e.nodes = append(e.nodes, &engNode{
+			eng:        e,
+			id:         n,
+			credits:    make(map[credKey]int),
+			creditDebt: make(map[credKey]int),
+			shipped:    make(map[shipKey]bool),
+		})
+	}
+
+	// Operator state.
+	for _, op := range tree.Ops {
+		o := &opState{
+			eng:     e,
+			op:      op,
+			home:    op.Home,
+			homePos: make(map[int]int, len(op.Home)),
+			rng:     rng.Split(uint64(op.ID)),
+		}
+		for i, n := range op.Home {
+			if n < 0 || n >= cl.Cfg.Nodes {
+				return nil, fmt.Errorf("core: %s homed on nonexistent node %d", op.Name, n)
+			}
+			o.homePos[n] = i
+		}
+		homeThreads := len(op.Home) * cl.Cfg.ProcsPerNode
+		if op.Kind != plan.Scan {
+			o.buckets = opt.FragmentationFactor * homeThreads
+			o.bucketZipf = xrand.NewZipf(o.buckets, opt.RedistributionSkew)
+		}
+		if op.Kind == plan.Probe {
+			o.matchesPerTuple = op.Selectivity * float64(op.Partner.InCard)
+		}
+		nq := cl.Cfg.ProcsPerNode
+		if !opt.QueuePerThread {
+			nq = 1
+		}
+		for _, n := range op.Home {
+			on := &opNode{node: n}
+			if op.Kind == plan.Build {
+				on.tables = make(map[int]int64)
+			}
+			for qi := 0; qi < nq; qi++ {
+				on.queues = append(on.queues, &queue{op: o, node: n, idx: qi})
+			}
+			o.perNode = append(o.perNode, on)
+		}
+		e.ops = append(e.ops, o)
+	}
+	e.rootOp = e.ops[tree.Root.ID]
+
+	// Scheduling graph.
+	for _, op := range tree.Ops {
+		o := e.ops[op.ID]
+		o.blockersLeft = len(op.Blockers)
+		for _, b := range op.Blockers {
+			e.ops[b.ID].dependents = append(e.ops[b.ID].dependents, o)
+		}
+	}
+
+	// Start unblocked operators (this seeds chain 0's scan) and build the
+	// circular lists.
+	for _, o := range e.ops {
+		if o.blockersLeft == 0 {
+			e.startOp(o)
+		}
+	}
+
+	// FP: allocate threads for the first chain before spawning.
+	for n := range e.nodes {
+		e.nodes[n].rebuildActive()
+	}
+
+	// Worker threads: one per processor per query (§3.1).
+	for _, n := range e.nodes {
+		for i := 0; i < cl.Cfg.ProcsPerNode; i++ {
+			t := newThread(e, n, i)
+			n.threads = append(n.threads, t)
+		}
+	}
+	if opt.Mode == FP {
+		e.allocateFP(e.currentChain())
+	}
+	for _, n := range e.nodes {
+		for _, t := range n.threads {
+			t.spawn()
+		}
+	}
+	return e, nil
+}
+
+// currentChain returns the chain of the most recently started driver scan.
+func (e *Engine) currentChain() int {
+	cur := 0
+	for _, o := range e.ops {
+		if o.started && o.op.IsDriver() && o.op.Chain > cur {
+			cur = o.op.Chain
+		}
+	}
+	return cur
+}
+
+// startOp marks the operator runnable: its queues join the circular
+// lists, scans seed their trigger activations, FP reallocates threads when
+// a new chain opens.
+func (e *Engine) startOp(o *opState) {
+	o.started = true
+	if o.op.Kind == plan.Scan {
+		e.seedScan(o)
+		o.producerDone = true
+	}
+	for _, n := range e.nodes {
+		n.rebuildActive()
+	}
+	if e.opt.Mode == FP && o.op.IsDriver() && len(e.nodes[0].threads) > 0 {
+		e.allocateFP(o.op.Chain)
+	}
+	for _, n := range e.nodes {
+		n.wake()
+	}
+	// Empty-input edge: the operator may already be finished.
+	e.checkTermination(o)
+}
+
+// seedScan creates the trigger activations of a scan: each covers
+// PagesPerTrigger pages of the node's relation partition on one disk.
+// With redistribution skew, triggers land on queues Zipf-skewed, modelling
+// unbalanced partitions (§5.2.2).
+func (e *Engine) seedScan(o *opState) {
+	rel := o.op.Rel
+	pageSize := e.cl.Cfg.Disk.PageSize
+	tpp := rel.TuplesPerPage(pageSize)
+	parts := rel.PartitionCards()
+	var queueZipf *xrand.Zipf
+	for pos, n := range o.home {
+		on := o.perNode[pos]
+		card := parts[pos]
+		node := e.nodes[n]
+		disks := len(e.cl.Nodes[n].Disks)
+		if queueZipf == nil && e.opt.RedistributionSkew > 0 {
+			queueZipf = xrand.NewZipf(len(on.queues), e.opt.RedistributionSkew)
+		}
+		pages := (card + tpp - 1) / tpp
+		seq := 0
+		for pages > 0 {
+			p := int64(e.opt.PagesPerTrigger)
+			if p > pages {
+				p = pages
+			}
+			tuples := p * tpp
+			if tuples > card {
+				tuples = card
+			}
+			card -= tuples
+			pages -= p
+			a := &activation{
+				op:      o,
+				kind:    trigger,
+				node:    n,
+				pages:   int(p),
+				tuples:  tuples,
+				diskIdx: seq % disks,
+				srcNode: -1,
+			}
+			qi := seq % len(on.queues)
+			if queueZipf != nil {
+				qi = queueZipf.Draw(o.rng)
+			}
+			on.queues[qi].push(a)
+			o.outstanding++
+			seq++
+			_ = node
+		}
+	}
+}
+
+// allocateFP statically distributes each node's threads over the operators
+// of chain c proportionally to the (possibly distorted) work estimates
+// (§5.2.1). With at least as many threads as operators every operator
+// receives one thread plus a share of the remainder; otherwise operators
+// are packed onto threads longest-processing-time-first.
+func (e *Engine) allocateFP(c int) {
+	chain := e.tree.Chains[c]
+	work := make([]float64, len(chain))
+	var total float64
+	for i, op := range chain {
+		w := e.opt.FPWork[op.ID]
+		if w <= 0 {
+			w = 1
+		}
+		work[i] = w
+		total += w
+	}
+	for _, n := range e.nodes {
+		p := len(n.threads)
+		for _, t := range n.threads {
+			t.allowed = make(map[*opState]bool)
+		}
+		if len(chain) <= p {
+			// One thread minimum per operator, remainder by share.
+			counts := make([]int, len(chain))
+			assigned := 0
+			for i := range chain {
+				counts[i] = 1
+				assigned++
+			}
+			for assigned < p {
+				// Give the next thread to the operator with the
+				// highest work-per-thread.
+				best := 0
+				bestRatio := -1.0
+				for i := range chain {
+					r := work[i] / float64(counts[i])
+					if r > bestRatio {
+						bestRatio = r
+						best = i
+					}
+				}
+				counts[best]++
+				assigned++
+			}
+			ti := 0
+			for i, op := range chain {
+				for j := 0; j < counts[i]; j++ {
+					n.threads[ti].allowed[e.ops[op.ID]] = true
+					ti++
+				}
+			}
+		} else {
+			// More operators than threads: pack operators onto
+			// threads, heaviest first onto the least-loaded thread.
+			loads := make([]float64, p)
+			order := make([]int, len(chain))
+			for i := range order {
+				order[i] = i
+			}
+			// Selection sort by descending work (chains are short).
+			for i := 0; i < len(order); i++ {
+				for j := i + 1; j < len(order); j++ {
+					if work[order[j]] > work[order[i]] {
+						order[i], order[j] = order[j], order[i]
+					}
+				}
+			}
+			for _, oi := range order {
+				best := 0
+				for ti := 1; ti < p; ti++ {
+					if loads[ti] < loads[best] {
+						best = ti
+					}
+				}
+				loads[best] += work[oi]
+				n.threads[best].allowed[e.ops[chain[oi].ID]] = true
+			}
+		}
+		n.wake()
+	}
+}
+
+// deliverLocal enqueues a batch into the consumer's queue on the local
+// node. It returns false when the queue is full (flow control).
+func (e *Engine) deliverLocal(t *thread, b *batch) bool {
+	c := b.consumer
+	on := c.at(b.dstNode)
+	q := on.queues[c.queueOfBucket(b.bucket)]
+	if q.full(e.opt.QueueCapacity) {
+		return false
+	}
+	a := &activation{
+		op:         c,
+		kind:       data,
+		node:       b.dstNode,
+		bucket:     b.bucket,
+		dataTuples: b.tuples,
+		srcNode:    -1,
+	}
+	c.outstanding++
+	q.push(a)
+	t.chargeQueueOp()
+	e.nodes[b.dstNode].wakeFor(c)
+	return true
+}
+
+// deliverRemote ships a batch to the consumer's node over the network.
+// It returns false when the sender is out of credits for that destination
+// (remote flow control). The sending thread is charged the per-8KB send
+// cost; the receive cost is charged to whichever thread dequeues the
+// activation.
+func (e *Engine) deliverRemote(t *thread, b *batch) bool {
+	c := b.consumer
+	src := t.node
+	key := credKey{opID: c.op.ID, peerNode: b.dstNode}
+	if src.creditsFor(key) <= 0 {
+		return false
+	}
+	src.credits[key]--
+	bytes := batchBytes(b.tuples, c.op.TupleBytes)
+	t.charge(e.cl.Net.SendInstr(bytes))
+	a := &activation{
+		op:         c,
+		kind:       data,
+		node:       b.dstNode,
+		bucket:     b.bucket,
+		dataTuples: b.tuples,
+		srcNode:    src.id,
+		recvInstr:  e.cl.Net.RecvInstr(bytes),
+	}
+	c.outstanding++
+	e.cl.Net.Send(simnet.Pipeline, bytes, func() {
+		on := c.at(b.dstNode)
+		q := on.queues[c.queueOfBucket(b.bucket)]
+		q.push(a)
+		e.nodes[b.dstNode].wakeFor(c)
+	})
+	return true
+}
+
+// initialCredits is the per-(operator, destination) send window.
+func (e *Engine) initialCredits() int {
+	return e.opt.QueueCapacity
+}
+
+// creditConsumed records consumption of a remote-produced activation and
+// returns half-window credit batches to the producer (§3.1 flow control,
+// in the style of [Graefe93, Pirahesh90]).
+func (e *Engine) creditConsumed(consumerNode *engNode, a *activation) {
+	key := credKey{opID: a.op.op.ID, peerNode: a.srcNode}
+	consumerNode.creditDebt[key]++
+	half := e.initialCredits() / 2
+	if half < 1 {
+		half = 1
+	}
+	if consumerNode.creditDebt[key] < half {
+		return
+	}
+	e.returnCredits(consumerNode, key)
+}
+
+// returnCredits sends the accumulated credit grant for key back to the
+// producing node.
+func (e *Engine) returnCredits(consumerNode *engNode, key credKey) {
+	grant := consumerNode.creditDebt[key]
+	if grant <= 0 {
+		return
+	}
+	consumerNode.creditDebt[key] = 0
+	src := e.nodes[key.peerNode]
+	back := credKey{opID: key.opID, peerNode: consumerNode.id}
+	e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+		src.credits[back] += grant
+		src.wake()
+	})
+}
+
+// flushCredits returns every pending credit for an operator whose queues
+// just drained, so remote producers holding the tail of a window are not
+// stuck below the half-window return threshold.
+func (e *Engine) flushCredits(consumerNode *engNode, o *opState) {
+	for src := range e.nodes {
+		if src == consumerNode.id {
+			continue
+		}
+		e.returnCredits(consumerNode, credKey{opID: o.op.ID, peerNode: src})
+	}
+}
+
+// checkTermination fires the end-of-operator protocol when the operator
+// has started, its producers are finished, and no activation remains
+// anywhere (queued, suspended, or in flight).
+func (e *Engine) checkTermination(o *opState) {
+	if e.done || o.terminating || !o.started || !o.producerDone || o.outstanding != 0 {
+		return
+	}
+	o.terminating = true
+	// Remove the operator's queues from the circular lists right away
+	// (they are empty by definition).
+	for _, n := range e.nodes {
+		n.rebuildActive()
+	}
+	if len(e.nodes) == 1 {
+		e.k.After(0, func() { e.finishOp(o) })
+		return
+	}
+	// Coordinator protocol of §4 (Detection of Operator End): every
+	// scheduler sends EndOfQueuesAtNode to the coordinator, the
+	// coordinator runs a confirmation round with every scheduler (no
+	// thread may still be processing), then broadcasts the update —
+	// 4(N-1) messages and four network hops end to end.
+	phase := func(cont func()) {
+		remaining := len(e.nodes) - 1
+		for i := 1; i < len(e.nodes); i++ {
+			e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+				remaining--
+				if remaining == 0 {
+					cont()
+				}
+			})
+		}
+	}
+	phase(func() { // EndOfQueuesAtNode -> coordinator
+		phase(func() { // coordinator -> schedulers: confirm request
+			phase(func() { // schedulers -> coordinator: confirmed
+				phase(func() { // coordinator -> schedulers: operator end
+					e.finishOp(o)
+				})
+			})
+		})
+	})
+}
+
+// finishOp completes termination: dependents unblock, consumers learn
+// their producer is done, everyone wakes.
+func (e *Engine) finishOp(o *opState) {
+	o.terminated = true
+	if c := o.consumer(); c != nil {
+		c.producerDone = true
+		e.checkTermination(c)
+	}
+	if o == e.rootOp {
+		e.finish()
+		return
+	}
+	for _, d := range o.dependents {
+		d.blockersLeft--
+		if d.blockersLeft == 0 && !d.started {
+			e.startOp(d)
+		}
+	}
+	for _, n := range e.nodes {
+		n.rebuildActive()
+		n.wake()
+	}
+}
+
+// finish ends the query: response time is the instant the root operator's
+// termination is known everywhere.
+func (e *Engine) finish() {
+	e.done = true
+	e.doneTime = e.k.Now()
+	for _, n := range e.nodes {
+		n.wake()
+	}
+}
+
+// finishMetrics folds thread and network counters into the run record.
+func (e *Engine) finishMetrics() {
+	e.run.ResponseTime = e.doneTime
+	for _, n := range e.nodes {
+		for _, t := range n.threads {
+			e.run.Busy += t.busy
+			e.run.IOWait += t.ioWait
+			e.run.Idle += t.idle
+		}
+	}
+	e.run.ResultTuples = e.rootOp.results
+	pipe := e.cl.Net.TrafficFor(simnet.Pipeline)
+	ctrl := e.cl.Net.TrafficFor(simnet.Control)
+	bal := e.cl.Net.TrafficFor(simnet.Balance)
+	e.run.PipelineMsgs, e.run.PipelineBytes = pipe.Messages, pipe.Bytes
+	e.run.ControlMsgs, e.run.ControlBytes = ctrl.Messages, ctrl.Bytes
+	e.run.BalanceMsgs, e.run.BalanceBytes = bal.Messages, bal.Bytes
+}
+
+// instrTime converts instructions to time at the configured MIPS.
+func (e *Engine) instrTime(instr int64) simtime.Duration {
+	return e.cl.Cfg.InstrTime(instr)
+}

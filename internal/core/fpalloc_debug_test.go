@@ -1,0 +1,82 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+// TestDebugFPAllocation dumps FP's per-chain thread allocation with and
+// without cost-model distortion. Enable with HIERDB_DEBUG=1.
+func TestDebugFPAllocation(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1")
+	}
+	cfg := cluster.DefaultConfig(1, 8)
+	o := optimizer.New(plan.DefaultCosts(), cfg)
+	// Generate a gated query the way the experiment workload does:
+	// sequential time in [30,60] minutes, intermediates <= 8x base.
+	rng := xrand.New(12345)
+	var q *querygen.Query
+	p := querygen.DefaultParams(1)
+	p.Relations = 12
+	for i := 0; i < 100; i++ {
+		cand := querygen.Generate(rng, "dbg", p)
+		seq, base, inter := o.EstimateStats(cand)
+		if seq >= 30*simtime.Minute && seq <= 60*simtime.Minute && inter <= 8*base {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no gated query found")
+	}
+	tree := o.Plans(q, 1, catalog.AllNodes(1))[0]
+
+	for _, rate := range []float64{0, 0.3} {
+		work := optimizer.DistortedWork(tree, xrand.New(7919), rate, plan.DefaultCosts(), cfg)
+		opt := DefaultOptions(FP)
+		opt.FPWork = make([]float64, len(work))
+		for i, w := range work {
+			opt.FPWork[i] = float64(w)
+		}
+		k := simtime.NewKernel()
+		cl := cluster.New(k, cfg)
+		e, err := newEngine(k, cl, tree, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("=== rate %.1f ===", rate)
+		for c := range tree.Chains {
+			e.allocateFP(c)
+			n := e.nodes[0]
+			line := ""
+			for _, op := range tree.Chains[c] {
+				cnt := 0
+				for _, th := range n.threads {
+					if th.allowed[e.ops[op.ID]] {
+						cnt++
+					}
+				}
+				line += op.Name + ":"
+				for i := 0; i < cnt; i++ {
+					line += "#"
+				}
+				line += " "
+			}
+			t.Logf("chain %2d: %s", c, line)
+		}
+		r, err := Run(tree, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rt=%v idle=%v", r.ResponseTime, r.Idle)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/plan"
+)
+
+// TestDebugFPSensitivity probes whether FP response time reacts to
+// allocation quality at all. Enable with HIERDB_DEBUG=1.
+func TestDebugFPSensitivity(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1")
+	}
+	cfg := cluster.DefaultConfig(1, 8)
+	tree := chainPlanForDebug(5, 1, 10)
+
+	run := func(work func(i int) float64) *struct {
+		rt, idle float64
+	} {
+		opt := DefaultOptions(FP)
+		opt.FPWork = make([]float64, len(tree.Ops))
+		for i := range opt.FPWork {
+			opt.FPWork[i] = work(i)
+		}
+		r, err := Run(tree, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &struct{ rt, idle float64 }{r.ResponseTime.Seconds(), r.Idle.Seconds()}
+	}
+
+	// True-ish weights: probes heavy.
+	good := run(func(i int) float64 {
+		if tree.Ops[i].Kind == plan.Probe {
+			return 100
+		}
+		return 10
+	})
+	// Inverted weights: scans heavy, probes starved.
+	bad := run(func(i int) float64 {
+		if tree.Ops[i].Kind == plan.Probe {
+			return 1
+		}
+		return 100
+	})
+	uniform := run(func(i int) float64 { return 1 })
+	t.Logf("good rt=%.1fs idle=%.1fs | bad rt=%.1fs idle=%.1fs | uniform rt=%.1fs idle=%.1fs",
+		good.rt, good.idle, bad.rt, bad.idle, uniform.rt, uniform.idle)
+}

@@ -1,0 +1,253 @@
+package core
+
+// Global load balancing (§3.2 and §4, Global Activation Selection).
+//
+// When a DP SM-node starves (no activation in any unblocked queue), its
+// scheduler broadcasts a starving message carrying its free memory. Every
+// other scheduler answers with its best candidate queue — only probe
+// activations qualify (condition iv), the operator must be unblocked
+// (condition v) and owned by the requester (§3.2), the data must fit in the
+// requester's memory (condition i), and the queue must hold enough work to
+// amortize the acquisition (condition ii) — scored by benefit/overhead
+// ratio: queued activations versus bytes to ship (activations plus the
+// hash-table buckets not already copied, per the stolen-queue cache of §4).
+// The requester picks the most loaded provider and asks for the queue; the
+// provider ships the activations and the missing hash-table buckets.
+//
+// Under FP the same protocol runs per processor, restricted to the
+// requesting thread's allocated operators — which is why FP suffers
+// repeated and mutual starving (§5.3) while DP requests at node level.
+
+import (
+	"hierdb/internal/simnet"
+)
+
+// offer is a provider's answer to a starving message.
+type offer struct {
+	provider *engNode
+	load     int
+	hasCand  bool
+	score    float64
+}
+
+// candidate describes the queue a provider would give away.
+type candidate struct {
+	q          *queue
+	acts       int
+	shipBytes  int64
+	tableBytes int64
+	score      float64
+}
+
+// startStealRound drives one starving episode for reqNode. opsFilter
+// restricts candidates (FP); owner is the requesting thread in FP mode and
+// nil for DP.
+func (e *Engine) startStealRound(reqNode *engNode, opsFilter []*opState, owner *thread) {
+	e.run.StealRounds++
+	freeMem := reqNode.freeMem()
+	peers := 0
+	for _, n := range e.nodes {
+		if n != reqNode {
+			peers++
+		}
+	}
+	offers := make([]offer, 0, peers)
+	got := 0
+	for _, pv := range e.nodes {
+		if pv == reqNode {
+			continue
+		}
+		pv := pv
+		// Starving message to the provider, then the provider's answer.
+		e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+			off := e.computeOffer(pv, reqNode, opsFilter, freeMem)
+			e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+				offers = append(offers, off)
+				got++
+				if got == peers {
+					e.resolveStealRound(reqNode, opsFilter, owner, offers, freeMem)
+				}
+			})
+		})
+	}
+}
+
+// computeOffer evaluates the provider's candidate queues at answer time.
+func (e *Engine) computeOffer(pv, req *engNode, opsFilter []*opState, freeMem int64) offer {
+	off := offer{provider: pv, load: pv.queuedActivations()}
+	if c := e.bestCandidate(pv, req, opsFilter, freeMem); c != nil {
+		off.hasCand = true
+		off.score = c.score
+	}
+	return off
+}
+
+// bestCandidate selects the provider queue with the best benefit/overhead
+// ratio under the conditions of §3.2, or nil.
+func (e *Engine) bestCandidate(pv, req *engNode, opsFilter []*opState, freeMem int64) *candidate {
+	var best *candidate
+	consider := func(o *opState) {
+		if !o.isProbe() || !o.started || o.terminating {
+			return // conditions (iv) and (v)
+		}
+		if _, ok := o.homePos[req.id]; !ok {
+			return // requester must own the operator
+		}
+		pos, ok := o.homePos[pv.id]
+		if !ok {
+			return
+		}
+		for _, q := range o.perNode[pos].queues {
+			n := q.len()
+			if n < e.opt.MinStealActivations {
+				continue // condition (ii)
+			}
+			var actBytes, tblBytes int64
+			seen := make(map[int]bool)
+			for i := q.head; i < len(q.items); i++ {
+				a := q.items[i]
+				actBytes += a.bytes()
+				if seen[a.bucket] {
+					continue
+				}
+				seen[a.bucket] = true
+				if e.opt.StealCache && pv.shipped[shipKey{opID: o.op.ID, bucket: a.bucket, requester: req.id}] {
+					continue
+				}
+				tbl := e.ops[o.op.Partner.ID]
+				if tpos, ok := tbl.homePos[pv.id]; ok {
+					tblBytes += e.costs.HashTableBytes(tbl.perNode[tpos].tables[a.bucket], o.op.TupleBytes)
+				}
+			}
+			ship := actBytes + tblBytes
+			if ship > freeMem {
+				continue // condition (i)
+			}
+			score := float64(n) / (1 + float64(ship)/1024)
+			if best == nil || score > best.score {
+				best = &candidate{q: q, acts: n, shipBytes: ship, tableBytes: tblBytes, score: score}
+			}
+		}
+	}
+	if opsFilter != nil {
+		for _, o := range opsFilter {
+			consider(o)
+		}
+	} else {
+		for _, o := range e.ops {
+			consider(o)
+		}
+	}
+	return best
+}
+
+// resolveStealRound picks the most loaded provider that offered a
+// candidate and requests the queue; without any offer the round fails and
+// retries are paced.
+func (e *Engine) resolveStealRound(reqNode *engNode, opsFilter []*opState, owner *thread, offers []offer, freeMem int64) {
+	var chosen *offer
+	for i := range offers {
+		o := &offers[i]
+		if !o.hasCand {
+			continue
+		}
+		if chosen == nil || o.load > chosen.load {
+			chosen = o
+		}
+	}
+	if chosen == nil {
+		e.failStealRound(reqNode, owner)
+		return
+	}
+	pv := chosen.provider
+	e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+		// Re-evaluate at request time: the provider's state has moved.
+		c := e.bestCandidate(pv, reqNode, opsFilter, freeMem)
+		if c == nil {
+			e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
+				e.failStealRound(reqNode, owner)
+			})
+			return
+		}
+		e.shipQueue(pv, reqNode, owner, c)
+	})
+}
+
+func (e *Engine) failStealRound(reqNode *engNode, owner *thread) {
+	now := e.k.Now()
+	if owner != nil {
+		owner.stealOutstanding = false
+		owner.nextStealTime = now + stealRetryInterval
+		owner.wake()
+		return
+	}
+	reqNode.stealOutstanding = false
+	reqNode.nextStealTime = now + stealRetryInterval
+	reqNode.wake()
+}
+
+// shipQueue moves the candidate queue's activations (and missing
+// hash-table buckets) from the provider to the requester.
+func (e *Engine) shipQueue(pv, req *engNode, owner *thread, c *candidate) {
+	o := c.q.op
+	// Condition (iii) of §3.2: do not overload the requester — acquire
+	// half the queue, but at least enough to amortize the round.
+	n := c.q.len() / 2
+	if n < e.opt.MinStealActivations {
+		n = e.opt.MinStealActivations
+	}
+	acts := c.q.popN(n)
+	// Shipped activations leave the provider's queues for good: settle
+	// their flow-control credits with the original senders now, exactly
+	// as if the provider had consumed them, so no sender waits on a
+	// window that can never refill.
+	for _, a := range acts {
+		if a.srcNode >= 0 {
+			e.creditConsumed(pv, a)
+			a.srcNode = -1
+		}
+	}
+	e.flushCredits(pv, o)
+	// Producers suspended on this (previously full) queue can resume.
+	pv.wake()
+	var bytes int64
+	seen := make(map[int]bool)
+	for _, a := range acts {
+		bytes += a.bytes()
+		if !seen[a.bucket] {
+			seen[a.bucket] = true
+			key := shipKey{opID: o.op.ID, bucket: a.bucket, requester: req.id}
+			if !e.opt.StealCache || !pv.shipped[key] {
+				tbl := e.ops[o.op.Partner.ID]
+				if tpos, ok := tbl.homePos[pv.id]; ok {
+					bytes += e.costs.HashTableBytes(tbl.perNode[tpos].tables[a.bucket], o.op.TupleBytes)
+				}
+				pv.shipped[key] = true
+			}
+		}
+	}
+	if bytes <= 0 {
+		bytes = controlMsgBytes
+	}
+	recvShare := e.cl.Net.RecvInstr(bytes) / int64(len(acts))
+	e.cl.Net.Send(simnet.Balance, bytes, func() {
+		req.memUsed += c.tableBytes
+		for _, a := range acts {
+			a.node = req.id
+			a.stolen = true
+			a.srcNode = -1
+			a.recvInstr = recvShare
+			on := o.residueNode(req.id)
+			q := on.queues[o.queueOfBucket(a.bucket)]
+			q.push(a)
+		}
+		e.run.StealsSucceeded++
+		e.run.StolenActivations += int64(len(acts))
+		if owner != nil {
+			owner.stealOutstanding = false
+		} else {
+			req.stealOutstanding = false
+		}
+		req.wake()
+	})
+}

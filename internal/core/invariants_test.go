@@ -1,0 +1,174 @@
+package core
+
+// White-box tests of the engine's internal invariants: conservation of
+// tuples through the pipeline, end-of-operator protocol costs, flow
+// control, and FP allocation.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+	"hierdb/internal/simtime"
+)
+
+func newOptForTest(cfg cluster.Config) *optimizer.Optimizer {
+	return optimizer.New(plan.DefaultCosts(), cfg)
+}
+
+func TestEndDetectionProtocolCost(t *testing.T) {
+	// On N nodes, every operator end costs 4(N-1) control messages
+	// (§4); credits and steal traffic add more, so the control count
+	// must be at least ops x 4(N-1).
+	nodes := 3
+	cfg := cluster.DefaultConfig(nodes, 2)
+	tree := smallPlan(t, 21, 4, nodes)
+	r := runDP(t, tree, cfg, nil)
+	min := int64(len(tree.Ops) * 4 * (nodes - 1))
+	if r.ControlMsgs < min {
+		t.Fatalf("control messages %d below protocol floor %d", r.ControlMsgs, min)
+	}
+}
+
+func TestSingleNodeTerminationHasNoProtocolCost(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 2)
+	tree := smallPlan(t, 22, 3, 1)
+	r := runDP(t, tree, cfg, nil)
+	if r.ControlMsgs != 0 {
+		t.Fatalf("single node sent %d control messages", r.ControlMsgs)
+	}
+}
+
+func TestFlowControlBoundsQueues(t *testing.T) {
+	// With a tiny queue capacity the run must still complete (flow
+	// control suspends producers instead of losing work) and record
+	// suspensions.
+	cfg := cluster.DefaultConfig(1, 2)
+	tree := smallPlan(t, 23, 4, 1)
+	r := runDP(t, tree, cfg, func(o *Options) { o.QueueCapacity = 2 })
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results with tight flow control")
+	}
+	if r.Suspensions == 0 {
+		t.Fatal("tight flow control caused no suspensions")
+	}
+	full := runDP(t, tree, cfg, func(o *Options) { o.QueueCapacity = 1024 })
+	diff := r.ResultTuples - full.ResultTuples
+	if diff < 0 {
+		diff = -diff
+	}
+	if full.ResultTuples == 0 || float64(diff)/float64(full.ResultTuples) > 0.01 {
+		t.Fatalf("flow control changed results: %d vs %d", r.ResultTuples, full.ResultTuples)
+	}
+}
+
+func TestResultConservationQuick(t *testing.T) {
+	// Property: for random small workloads, the simulated result
+	// cardinality tracks the optimizer's estimate within rounding
+	// tolerance, under random engine option combinations.
+	f := func(seed uint64, procsRaw, capRaw, fragRaw uint8) bool {
+		procs := int(procsRaw%4) + 1
+		capQ := int(capRaw%30) + 3
+		frag := int(fragRaw%12) + 1
+		cfg := cluster.DefaultConfig(1, procs)
+		tree := smallPlanQuick(seed%50+1, 3)
+		opt := DefaultOptions(DP)
+		opt.QueueCapacity = capQ
+		opt.FragmentationFactor = frag
+		r, err := Run(tree, cfg, opt)
+		if err != nil {
+			return false
+		}
+		est := tree.Root.OutCard
+		diff := r.ResultTuples - est
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= float64(est)*0.02+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallPlanQuick builds a plan without *testing.T for property checks.
+func smallPlanQuick(seed uint64, rels int) *plan.Tree {
+	cfg := cluster.DefaultConfig(1, 2)
+	q := smallQuery(seed, rels, 1)
+	o := newOptForTest(cfg)
+	return o.Plans(q, 1, []int{0})[0]
+}
+
+func TestFPAllocationCoversAllOps(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	tree := smallPlan(t, 24, 5, 1)
+	opt := DefaultOptions(FP)
+	opt.FPWork = make([]float64, len(tree.Ops))
+	for i := range opt.FPWork {
+		opt.FPWork[i] = float64(i + 1)
+	}
+	k := simtime.NewKernel()
+	cl := cluster.New(k, cfg)
+	e, err := newEngine(k, cl, tree, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every chain must leave every operator covered by at least one
+	// thread on every node.
+	for c := range tree.Chains {
+		e.allocateFP(c)
+		for _, n := range e.nodes {
+			for _, op := range tree.Chains[c] {
+				covered := false
+				for _, th := range n.threads {
+					if th.allowed[e.ops[op.ID]] {
+						covered = true
+					}
+				}
+				if !covered {
+					t.Fatalf("chain %d: %s uncovered on node %d", c, op.Name, n.id)
+				}
+			}
+		}
+	}
+}
+
+func TestFPAllocationMoreOpsThanThreads(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 2)
+	// A chain plan has a long final chain; with 2 threads and 5 chain
+	// operators the LPT path must cover everything.
+	tree := chainPlanForDebug(5, 1, 100)
+	opt := DefaultOptions(FP)
+	opt.FPWork = make([]float64, len(tree.Ops))
+	for i := range opt.FPWork {
+		opt.FPWork[i] = 1
+	}
+	r, err := Run(tree, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestSuspensionsAreCounted(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 2)
+	tree := smallPlan(t, 25, 4, 1)
+	r := runDP(t, tree, cfg, func(o *Options) { o.QueueCapacity = 2 })
+	if r.Suspensions <= 0 || r.QueueOps <= 0 {
+		t.Fatalf("missing overhead counters: %+v", r)
+	}
+}
+
+func TestStealCacheReducesBytes(t *testing.T) {
+	cfg := cluster.DefaultConfig(4, 2)
+	tree := chainPlanForDebug(5, 4, 10)
+	with := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 0.8 })
+	without := runDP(t, tree, cfg, func(o *Options) { o.RedistributionSkew = 0.8; o.StealCache = false })
+	if with.StealsSucceeded > 0 && without.BalanceBytes < with.BalanceBytes {
+		t.Fatalf("steal cache increased traffic: with=%d without=%d", with.BalanceBytes, without.BalanceBytes)
+	}
+}

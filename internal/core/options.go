@@ -1,0 +1,149 @@
+// Package core implements the paper's contribution: the DP (dynamic
+// processing) parallel execution model of §3–§4, in which query work is
+// decomposed into self-contained activations and any thread may execute any
+// activation of its SM-node. The same runtime also executes the FP (fixed
+// processing) baseline of §5.2.1 by restricting each thread to the
+// operators it was statically allocated to — exactly how the paper built
+// its FP implementation ("This was implemented by using our execution
+// model, restricting each thread to process activations associated with
+// only one operator").
+//
+// One deliberate implementation substitution: the paper suspends a blocked
+// activation by procedure call and recursively processes another one.
+// Here activations are resumable state machines — a thread that cannot
+// proceed (output queue full, disk page not ready) parks the activation on
+// its suspended list and returns to the selection loop. The behaviour and
+// the charged cost (Costs.Suspend) are the same, without unbounded Go
+// stacks; DESIGN.md discusses the substitution.
+package core
+
+import (
+	"fmt"
+
+	"hierdb/internal/plan"
+)
+
+// Mode selects the thread-to-operator association policy.
+type Mode int
+
+const (
+	// DP lets any thread execute any activation of its SM-node (the
+	// paper's model).
+	DP Mode = iota
+	// FP statically allocates threads to the operators of the current
+	// pipeline chain proportionally to estimated cost (the shared-
+	// nothing baseline of §5.2.1 adapted to shared memory).
+	FP
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case DP:
+		return "DP"
+	case FP:
+		return "FP"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options parameterizes an execution.
+type Options struct {
+	// Mode is DP or FP.
+	Mode Mode
+	// Costs are the CPU path lengths (plan.DefaultCosts by default).
+	Costs plan.Costs
+
+	// FragmentationFactor sets the degree of fragmentation: each join
+	// uses FragmentationFactor x (threads in the operator home) buckets.
+	// §3.1 recommends a degree of fragmentation much higher than the
+	// degree of parallelism.
+	FragmentationFactor int
+
+	// PagesPerTrigger is the granularity of trigger activations: how
+	// many pages of a base-relation bucket one activation covers (§3.1
+	// reduces trigger granularity from a bucket to one or more pages).
+	PagesPerTrigger int
+
+	// BatchTuples is the granularity of data activations (§3.1
+	// increases data-activation granularity by buffering). It defaults
+	// to the number of tuples per page.
+	BatchTuples int
+
+	// QueueCapacity bounds each activation queue, providing the flow
+	// control of §3.1.
+	QueueCapacity int
+
+	// RedistributionSkew is the Zipf factor applied to the distribution
+	// of pipelined tuples over buckets, and of trigger activations over
+	// scan queues (§5.2.2).
+	RedistributionSkew float64
+
+	// GlobalLB enables load sharing across SM-nodes (§3.2). Disabling
+	// it is an ablation.
+	GlobalLB bool
+
+	// PrimaryQueues gives each thread priority access to its own set of
+	// queues (§3.1). Disabling it is an ablation.
+	PrimaryQueues bool
+
+	// QueuePerThread creates one queue per (operator, thread); when
+	// false a single queue per operator is used (the interference
+	// ablation of §3.1).
+	QueuePerThread bool
+
+	// StealCache remembers which hash-table buckets were already copied
+	// to a requester so repeated starving does not re-ship them (§4,
+	// Global Activation Selection optimization).
+	StealCache bool
+
+	// MinStealActivations is condition (ii) of §3.2: enough work must
+	// be acquired to amortize the acquisition overhead.
+	MinStealActivations int
+
+	// FPWork gives FP's per-operator work estimates (possibly distorted
+	// by a cost-model error rate), indexed by operator ID. Required in
+	// FP mode.
+	FPWork []float64
+
+	// Seed drives every random choice of the execution (bucket draws,
+	// skew); two runs with equal options and seed are identical.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper-faithful defaults for the given mode.
+func DefaultOptions(mode Mode) Options {
+	return Options{
+		Mode:                mode,
+		Costs:               plan.DefaultCosts(),
+		FragmentationFactor: 8,
+		PagesPerTrigger:     4,
+		BatchTuples:         0, // derived from the page size
+		QueueCapacity:       32,
+		GlobalLB:            true,
+		PrimaryQueues:       true,
+		QueuePerThread:      true,
+		StealCache:          true,
+		MinStealActivations: 4,
+		Seed:                1,
+	}
+}
+
+// Validate checks option consistency.
+func (o *Options) Validate() error {
+	switch {
+	case o.FragmentationFactor <= 0:
+		return fmt.Errorf("core: FragmentationFactor %d", o.FragmentationFactor)
+	case o.PagesPerTrigger <= 0:
+		return fmt.Errorf("core: PagesPerTrigger %d", o.PagesPerTrigger)
+	case o.QueueCapacity <= 0:
+		return fmt.Errorf("core: QueueCapacity %d", o.QueueCapacity)
+	case o.RedistributionSkew < 0:
+		return fmt.Errorf("core: negative skew")
+	case o.MinStealActivations < 1:
+		return fmt.Errorf("core: MinStealActivations %d", o.MinStealActivations)
+	case o.Mode == FP && o.FPWork == nil:
+		return fmt.Errorf("core: FP mode requires FPWork estimates")
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/optimizer"
+	"hierdb/internal/plan"
+)
+
+// fullParallelPlan expands the same query with both scheduling heuristics
+// disabled (§3.2's full-parallel strategy).
+func fullParallelPlan(t *testing.T, seed uint64, rels, nodes int) *plan.Tree {
+	t.Helper()
+	cfg := cluster.DefaultConfig(nodes, 2)
+	q := smallQuery(seed, rels, nodes)
+	o := optimizer.New(plan.DefaultCosts(), cfg)
+	return o.PlansSchedule(q, 1, catalog.AllNodes(nodes), plan.Schedule{})[0]
+}
+
+func TestFullParallelCompletesWithSameResults(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	seq := smallPlan(t, 31, 5, 1)
+	par := fullParallelPlan(t, 31, 5, 1)
+	rSeq := runDP(t, seq, cfg, nil)
+	rPar := runDP(t, par, cfg, nil)
+	diff := rSeq.ResultTuples - rPar.ResultTuples
+	if diff < 0 {
+		diff = -diff
+	}
+	if rSeq.ResultTuples == 0 || float64(diff)/float64(rSeq.ResultTuples) > 0.01 {
+		t.Fatalf("results differ: one-at-a-time %d vs full-parallel %d", rSeq.ResultTuples, rPar.ResultTuples)
+	}
+	t.Logf("one-at-a-time rt=%v, full-parallel rt=%v", rSeq.ResponseTime, rPar.ResponseTime)
+}
+
+func TestFullParallelMultiNode(t *testing.T) {
+	cfg := cluster.DefaultConfig(2, 2)
+	par := fullParallelPlan(t, 32, 4, 2)
+	r := runDP(t, par, cfg, nil)
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestFullParallelOnlyHashConstraints(t *testing.T) {
+	par := fullParallelPlan(t, 33, 5, 1)
+	for _, op := range par.Ops {
+		switch op.Kind {
+		case plan.Scan:
+			if len(op.Blockers) != 0 {
+				t.Fatalf("%s has blockers under full-parallel schedule", op.Name)
+			}
+		case plan.Probe:
+			if len(op.Blockers) != 1 || op.Blockers[0] != op.Partner {
+				t.Fatalf("%s blockers != [partner build]", op.Name)
+			}
+		}
+	}
+}
+
+func TestTablesReadyOnlySchedule(t *testing.T) {
+	cfg := cluster.DefaultConfig(1, 4)
+	q := smallQuery(34, 4, 1)
+	o := optimizer.New(plan.DefaultCosts(), cfg)
+	tree := o.PlansSchedule(q, 1, catalog.AllNodes(1), plan.Schedule{TablesReady: true})[0]
+	r := runDP(t, tree, cfg, nil)
+	if r.ResultTuples <= 0 {
+		t.Fatal("no results")
+	}
+}

@@ -1,0 +1,183 @@
+package exec
+
+// Aggregation on top of the join pipeline: the decision-support queries
+// that motivate the paper (§1, data-warehouse workloads) end in a group-by
+// over the join result. Aggregation runs as parallel partial aggregation:
+// each worker folds its share of root-probe output into a private hash
+// table, and the partials merge at the end — no extra synchronization on
+// the hot path.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+const (
+	// Count counts rows per group.
+	Count AggFunc = iota
+	// Sum sums a numeric column per group.
+	Sum
+	// Min keeps the per-group minimum of a numeric column.
+	Min
+	// Max keeps the per-group maximum.
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Aggregation is one aggregate over the input rows.
+type Aggregation struct {
+	Func AggFunc
+	// Arg extracts the numeric argument (ignored for Count). The value
+	// must be an int, int64 or float64.
+	Arg func(Row) float64
+}
+
+// GroupBy describes a grouped aggregation over a plan's output.
+type GroupBy struct {
+	// Key extracts the (comparable) group key.
+	Key KeyFunc
+	// Aggs lists the aggregates; output rows are [key, agg0, agg1, ...].
+	Aggs []Aggregation
+}
+
+type groupState struct {
+	key  any
+	vals []float64
+	n    int64
+}
+
+// ExecuteGroupBy runs the plan and folds its output through the group-by,
+// returning one row per group ordered deterministically by formatted key.
+func ExecuteGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) ([]Row, *Stats, error) {
+	if gb == nil || gb.Key == nil {
+		return nil, nil, fmt.Errorf("exec: group-by without key")
+	}
+	for i, a := range gb.Aggs {
+		if a.Func != Count && a.Arg == nil {
+			return nil, nil, fmt.Errorf("exec: aggregate %d (%v) without Arg", i, a.Func)
+		}
+	}
+	rows, stats, err := Execute(ctx, root, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt = opt.withDefaults()
+
+	// Parallel partial aggregation over the result shards.
+	shard := (len(rows) + opt.Workers - 1) / opt.Workers
+	partials := make([]map[any]*groupState, opt.Workers)
+	done := make(chan int, opt.Workers)
+	for w := 0; w < opt.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			lo := w * shard
+			if lo >= len(rows) {
+				return
+			}
+			hi := lo + shard
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			m := make(map[any]*groupState)
+			for _, row := range rows[lo:hi] {
+				k := gb.Key(row)
+				g := m[k]
+				if g == nil {
+					g = &groupState{key: k, vals: make([]float64, len(gb.Aggs))}
+					for i, a := range gb.Aggs {
+						switch a.Func {
+						case Min:
+							g.vals[i] = 1e308
+						case Max:
+							g.vals[i] = -1e308
+						}
+					}
+					m[k] = g
+				}
+				g.n++
+				for i, a := range gb.Aggs {
+					switch a.Func {
+					case Count:
+					case Sum:
+						g.vals[i] += a.Arg(row)
+					case Min:
+						if v := a.Arg(row); v < g.vals[i] {
+							g.vals[i] = v
+						}
+					case Max:
+						if v := a.Arg(row); v > g.vals[i] {
+							g.vals[i] = v
+						}
+					}
+				}
+			}
+			partials[w] = m
+		}(w)
+	}
+	for i := 0; i < opt.Workers; i++ {
+		<-done
+	}
+
+	// Merge partials.
+	merged := make(map[any]*groupState)
+	for _, m := range partials {
+		for k, g := range m {
+			t := merged[k]
+			if t == nil {
+				merged[k] = g
+				continue
+			}
+			t.n += g.n
+			for i, a := range gb.Aggs {
+				switch a.Func {
+				case Count:
+				case Sum:
+					t.vals[i] += g.vals[i]
+				case Min:
+					if g.vals[i] < t.vals[i] {
+						t.vals[i] = g.vals[i]
+					}
+				case Max:
+					if g.vals[i] > t.vals[i] {
+						t.vals[i] = g.vals[i]
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]Row, 0, len(merged))
+	for _, g := range merged {
+		row := Row{g.key}
+		for i, a := range gb.Aggs {
+			if a.Func == Count {
+				row = append(row, g.n)
+			} else {
+				row = append(row, g.vals[i])
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i][0]) < fmt.Sprint(out[j][0])
+	})
+	return out, stats, nil
+}

@@ -1,0 +1,524 @@
+package exec
+
+// Physical compilation and the worker runtime.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type opKind int
+
+const (
+	opScan opKind = iota
+	opBuild
+	opProbe
+)
+
+// pop is a physical operator.
+type pop struct {
+	id       int
+	kind     opKind
+	scan     *Scan
+	join     *Join
+	partner  *pop
+	consumer *pop
+	chain    int
+	est      float64
+}
+
+type physical struct {
+	ops    []*pop
+	chains [][]*pop
+	root   *pop
+}
+
+// compile macro-expands the logical tree into scan/build/probe operators
+// and pipeline chains in dependency order (§2.2).
+func compile(root Node) (*physical, error) {
+	p := &physical{}
+	out, err := p.expand(root)
+	if err != nil {
+		return nil, err
+	}
+	p.root = out
+	p.buildChains()
+	return p, nil
+}
+
+func (p *physical) newOp(kind opKind) *pop {
+	op := &pop{id: len(p.ops), kind: kind, chain: -1}
+	p.ops = append(p.ops, op)
+	return op
+}
+
+func (p *physical) expand(n Node) (*pop, error) {
+	switch v := n.(type) {
+	case *Scan:
+		if v.Table == nil {
+			return nil, fmt.Errorf("exec: scan without table")
+		}
+		op := p.newOp(opScan)
+		op.scan = v
+		op.est = v.estimate()
+		return op, nil
+	case *Join:
+		if v.BuildKey == nil || v.ProbeKey == nil {
+			return nil, fmt.Errorf("exec: join without key functions")
+		}
+		b, err := p.expand(v.Build)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := p.expand(v.Probe)
+		if err != nil {
+			return nil, err
+		}
+		bld := p.newOp(opBuild)
+		prb := p.newOp(opProbe)
+		bld.join, prb.join = v, v
+		bld.partner, prb.partner = prb, bld
+		b.consumer = bld
+		pr.consumer = prb
+		bld.est = v.Build.estimate()
+		prb.est = v.estimate()
+		return prb, nil
+	case nil:
+		return nil, fmt.Errorf("exec: nil node")
+	default:
+		return nil, fmt.Errorf("exec: unknown node type %T", n)
+	}
+}
+
+func (p *physical) buildChains() {
+	for _, op := range p.ops {
+		if op.kind != opScan {
+			continue
+		}
+		chain := []*pop{op}
+		cur := op
+		for cur.consumer != nil {
+			chain = append(chain, cur.consumer)
+			if cur.consumer.kind == opBuild {
+				break
+			}
+			cur = cur.consumer
+		}
+		id := len(p.chains)
+		for _, c := range chain {
+			c.chain = id
+		}
+		p.chains = append(p.chains, chain)
+	}
+	// Topological order: the chain building a hash table precedes the
+	// chain probing it.
+	n := len(p.chains)
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	for _, op := range p.ops {
+		if op.kind != opBuild {
+			continue
+		}
+		succ[op.chain] = append(succ[op.chain], op.partner.chain)
+		indeg[op.partner.chain]++
+	}
+	var order []int
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		c := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, c)
+		for _, s := range succ[c] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	reordered := make([][]*pop, n)
+	for newID, oldID := range order {
+		reordered[newID] = p.chains[oldID]
+		for _, op := range reordered[newID] {
+			op.chain = newID
+		}
+	}
+	p.chains = reordered
+}
+
+// activation is a self-contained unit of work: a scan morsel or a batch of
+// pipelined rows.
+type activation struct {
+	op   *pop
+	rows []Row
+	// morsel bounds for scans
+	lo, hi int
+}
+
+// opRun is the runtime state of one operator.
+type opRun struct {
+	op      *pop
+	queues  [][]*activation // one per worker (primary-queue affinity)
+	rr      int             // enqueue round-robin cursor
+	pending int64           // queued + in-process activations
+	prodEnd bool            // no more input will arrive
+	done    bool
+
+	// hash table (build/probe pairs share via partner).
+	stripes []map[any][]Row
+	locks   []sync.Mutex
+}
+
+type runState struct {
+	p   *physical
+	opt Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ops     []*opRun
+	chain   int // current pipeline chain
+	err     error
+	done    bool
+	waiting int
+
+	// static (FP) assignment: allowed[w] is the operator set of worker w
+	// for the current chain; nil in dynamic mode.
+	allowed []map[*pop]bool
+
+	results [][]Row
+	stats   Stats
+	acts    int64
+}
+
+func (p *physical) run(ctx context.Context, opt Options) ([]Row, *Stats, error) {
+	rs := &runState{p: p, opt: opt}
+	rs.cond = sync.NewCond(&rs.mu)
+	for _, op := range p.ops {
+		or := &opRun{op: op, queues: make([][]*activation, opt.Workers)}
+		if op.kind == opBuild {
+			or.stripes = make([]map[any][]Row, opt.Stripes)
+			for i := range or.stripes {
+				or.stripes[i] = make(map[any][]Row)
+			}
+			or.locks = make([]sync.Mutex, opt.Stripes)
+		}
+		rs.ops = append(rs.ops, or)
+	}
+	rs.results = make([][]Row, opt.Workers)
+	rs.stats.PerWorker = make([]int64, opt.Workers)
+	if opt.Static {
+		rs.allowed = make([]map[*pop]bool, opt.Workers)
+	}
+
+	rs.mu.Lock()
+	rs.startChain(0)
+	rs.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs.worker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	if rs.err != nil {
+		return nil, nil, rs.err
+	}
+	var out []Row
+	for _, rws := range rs.results {
+		out = append(out, rws...)
+	}
+	rs.stats.Activations = rs.acts
+	rs.stats.ResultRows = int64(len(out))
+	return out, &rs.stats, nil
+}
+
+// startChain seeds the driver scan's morsels and, in static mode,
+// allocates workers to the chain's operators by estimated cost. Callers
+// hold mu.
+func (rs *runState) startChain(c int) {
+	rs.chain = c
+	chain := rs.p.chains[c]
+	driver := chain[0]
+	or := rs.ops[driver.id]
+	rows := driver.scan.Table.Rows
+	for lo := 0; lo < len(rows); lo += rs.opt.Morsel {
+		hi := lo + rs.opt.Morsel
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		rs.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+	}
+	if len(rows) == 0 {
+		// Degenerate input: the scan is born finished.
+		or.prodEnd = true
+		rs.opFinishedLocked(or)
+		return
+	}
+	or.prodEnd = true
+	if rs.opt.Static {
+		rs.assignStatic(chain)
+	}
+	rs.cond.Broadcast()
+}
+
+// assignStatic distributes workers over the chain's operators
+// proportionally to estimated cost — the FP baseline. Callers hold mu.
+func (rs *runState) assignStatic(chain []*pop) {
+	w := rs.opt.Workers
+	for i := range rs.allowed {
+		rs.allowed[i] = make(map[*pop]bool)
+	}
+	if len(chain) <= w {
+		counts := make([]int, len(chain))
+		for i := range chain {
+			counts[i] = 1
+		}
+		assigned := len(chain)
+		for assigned < w {
+			best, bestRatio := 0, -1.0
+			for i, op := range chain {
+				r := op.est / float64(counts[i])
+				if r > bestRatio {
+					bestRatio, best = r, i
+				}
+			}
+			counts[best]++
+			assigned++
+		}
+		wi := 0
+		for i, op := range chain {
+			for j := 0; j < counts[i]; j++ {
+				rs.allowed[wi][op] = true
+				wi++
+			}
+		}
+		return
+	}
+	loads := make([]float64, w)
+	order := make([]int, len(chain))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if chain[order[j]].est > chain[order[i]].est {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, oi := range order {
+		best := 0
+		for wi := 1; wi < w; wi++ {
+			if loads[wi] < loads[best] {
+				best = wi
+			}
+		}
+		loads[best] += chain[oi].est
+		rs.allowed[best][chain[oi]] = true
+	}
+}
+
+// enqueueLocked adds an activation to the operator's next queue
+// round-robin. Callers hold mu.
+func (rs *runState) enqueueLocked(or *opRun, a *activation) {
+	or.queues[or.rr] = append(or.queues[or.rr], a)
+	or.rr = (or.rr + 1) % len(or.queues)
+	or.pending++
+}
+
+// pick selects the next activation for worker w: downstream operators of
+// the current chain first (draining pipelines bounds memory, playing the
+// role of the paper's flow control), the worker's primary queue before
+// other queues of the same operator. Callers hold mu.
+func (rs *runState) pick(w int) *activation {
+	chain := rs.p.chains[rs.chain]
+	for i := len(chain) - 1; i >= 0; i-- {
+		op := chain[i]
+		if rs.allowed != nil && !rs.allowed[w][op] {
+			continue
+		}
+		or := rs.ops[op.id]
+		if a := rs.popQueue(or, w); a != nil {
+			return a
+		}
+	}
+	return nil
+}
+
+func (rs *runState) popQueue(or *opRun, w int) *activation {
+	if q := or.queues[w]; len(q) > 0 {
+		a := q[len(q)-1]
+		or.queues[w] = q[:len(q)-1]
+		return a
+	}
+	for i := range or.queues {
+		if q := or.queues[i]; len(q) > 0 {
+			a := q[len(q)-1]
+			or.queues[i] = q[:len(q)-1]
+			return a
+		}
+	}
+	return nil
+}
+
+func (rs *runState) worker(ctx context.Context, w int) {
+	rs.mu.Lock()
+	for {
+		if rs.done || rs.err != nil {
+			rs.mu.Unlock()
+			return
+		}
+		if ctx.Err() != nil {
+			rs.err = ctx.Err()
+			rs.done = true
+			rs.cond.Broadcast()
+			rs.mu.Unlock()
+			return
+		}
+		a := rs.pick(w)
+		if a == nil {
+			rs.waiting++
+			rs.cond.Wait()
+			rs.waiting--
+			continue
+		}
+		rs.mu.Unlock()
+
+		outs, results := rs.process(a, w)
+		atomic.AddInt64(&rs.stats.PerWorker[w], 1)
+		if len(results) > 0 {
+			rs.results[w] = append(rs.results[w], results...)
+		}
+
+		rs.mu.Lock()
+		rs.acts++
+		c := rs.ops[a.op.id]
+		if a.op.consumer != nil {
+			co := rs.ops[a.op.consumer.id]
+			for _, out := range outs {
+				rs.enqueueLocked(co, out)
+			}
+			if len(outs) > 0 {
+				rs.cond.Broadcast()
+			}
+		}
+		c.pending--
+		if c.prodEnd && c.pending == 0 && !c.done {
+			rs.opFinishedLocked(c)
+		}
+	}
+}
+
+// opFinishedLocked marks an operator done, propagates end-of-producer to
+// its consumer, and advances to the next pipeline chain when the current
+// one completes. Callers hold mu.
+func (rs *runState) opFinishedLocked(or *opRun) {
+	or.done = true
+	if cns := or.op.consumer; cns != nil {
+		co := rs.ops[cns.id]
+		co.prodEnd = true
+		if co.pending == 0 && !co.done {
+			rs.opFinishedLocked(co)
+			return
+		}
+	}
+	// Advance the chain barrier when every operator of the current chain
+	// is done.
+	chain := rs.p.chains[rs.chain]
+	for _, op := range chain {
+		if !rs.ops[op.id].done {
+			rs.cond.Broadcast()
+			return
+		}
+	}
+	if rs.chain+1 < len(rs.p.chains) {
+		rs.startChain(rs.chain + 1)
+		return
+	}
+	rs.done = true
+	rs.cond.Broadcast()
+}
+
+// process executes one activation outside the scheduler lock. It returns
+// downstream batches and, for the root operator, result rows.
+func (rs *runState) process(a *activation, w int) (outs []*activation, results []Row) {
+	emit := func(consumer *pop, batch []Row) {
+		outs = append(outs, &activation{op: consumer, rows: batch})
+	}
+	switch a.op.kind {
+	case opScan:
+		s := a.op.scan
+		var batch []Row
+		for _, row := range s.Table.Rows[a.lo:a.hi] {
+			if s.Filter != nil && !s.Filter(row) {
+				continue
+			}
+			batch = append(batch, row)
+			if len(batch) >= rs.opt.Batch {
+				emit(a.op.consumer, batch)
+				batch = nil
+			}
+		}
+		if len(batch) > 0 {
+			emit(a.op.consumer, batch)
+		}
+	case opBuild:
+		or := rs.ops[a.op.id]
+		key := a.op.join.BuildKey
+		for _, row := range a.rows {
+			k := key(row)
+			s := hashKey(k, rs.opt.Stripes)
+			or.locks[s].Lock()
+			or.stripes[s][k] = append(or.stripes[s][k], row)
+			or.locks[s].Unlock()
+		}
+	case opProbe:
+		bo := rs.ops[a.op.partner.id]
+		key := a.op.join.ProbeKey
+		combine := a.op.join.Combine
+		if combine == nil {
+			combine = func(probe, build Row) Row {
+				out := make(Row, 0, len(probe)+len(build))
+				out = append(out, probe...)
+				return append(out, build...)
+			}
+		}
+		isRoot := a.op == rs.p.root
+		var batch []Row
+		for _, row := range a.rows {
+			k := key(row)
+			s := hashKey(k, rs.opt.Stripes)
+			for _, b := range bo.stripes[s][k] {
+				out := combine(row, b)
+				if isRoot {
+					results = append(results, out)
+					continue
+				}
+				batch = append(batch, out)
+				if len(batch) >= rs.opt.Batch {
+					emit(a.op.consumer, batch)
+					batch = nil
+				}
+			}
+		}
+		if len(batch) > 0 {
+			emit(a.op.consumer, batch)
+		}
+	}
+	return outs, results
+}

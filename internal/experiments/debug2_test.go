@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+)
+
+// TestDebugTransferStats prints full run records for the transfer
+// experiment. Enable with HIERDB_DEBUG=1.
+func TestDebugTransferStats(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1")
+	}
+	cfg := cluster.DefaultConfig(4, 2)
+	tree := ChainPlan(5, 4, 10)
+	dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = 0.8 })
+	fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = 0.8 })
+	for _, r := range []interface{ String() string }{dp, fp} {
+		t.Log(r.String())
+	}
+	t.Logf("DP rounds=%d ok=%d stolenActs=%d balBytes=%d balMsgs=%d idle=%v rt=%v",
+		dp.StealRounds, dp.StealsSucceeded, dp.StolenActivations, dp.BalanceBytes, dp.BalanceMsgs, dp.Idle, dp.ResponseTime)
+	t.Logf("FP rounds=%d ok=%d stolenActs=%d balBytes=%d balMsgs=%d idle=%v rt=%v",
+		fp.StealRounds, fp.StealsSucceeded, fp.StolenActivations, fp.BalanceBytes, fp.BalanceMsgs, fp.Idle, fp.ResponseTime)
+}

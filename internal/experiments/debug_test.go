@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+)
+
+// TestDebugTransfer is a diagnostic for Transfer hangs; enable with
+// HIERDB_DEBUG=1.
+func TestDebugTransfer(t *testing.T) {
+	if os.Getenv("HIERDB_DEBUG") == "" {
+		t.Skip("set HIERDB_DEBUG=1")
+	}
+	cfg := cluster.DefaultConfig(4, 2)
+	tree := ChainPlan(5, 4, 10)
+	t.Log(tree.String())
+	opt := core.DefaultOptions(core.DP)
+	opt.RedistributionSkew = 0.8
+	r, err := core.Run(tree, cfg, opt)
+	t.Logf("dp: %v err=%v", r, err)
+}

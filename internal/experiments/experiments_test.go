@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	s := BenchScale()
+	w1 := BuildWorkload(s, 1)
+	w2 := BuildWorkload(s, 1)
+	if len(w1.Plans) != len(w2.Plans) || len(w1.Plans) != s.Queries*s.TreesPerQuery {
+		t.Fatalf("plan counts: %d vs %d", len(w1.Plans), len(w2.Plans))
+	}
+	for i := range w1.Plans {
+		if w1.Plans[i].TotalInputTuples() != w2.Plans[i].TotalInputTuples() {
+			t.Fatalf("plan %d differs across builds", i)
+		}
+	}
+}
+
+func TestBuildWorkloadValidPlans(t *testing.T) {
+	s := BenchScale()
+	for _, nodes := range []int{1, 4} {
+		w := BuildWorkload(s, nodes)
+		for _, p := range w.Plans {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("nodes=%d: %v", nodes, err)
+			}
+		}
+	}
+}
+
+func TestPaperScaleGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation is slow")
+	}
+	s := PaperScale()
+	s.Queries = 2 // keep the test fast; the gate logic is what matters
+	w := BuildWorkload(s, 1)
+	if len(w.Plans) != 2*s.TreesPerQuery {
+		t.Fatalf("%d plans", len(w.Plans))
+	}
+}
+
+func TestChainPlanShape(t *testing.T) {
+	tree := ChainPlan(5, 4, 10)
+	last := tree.Chains[len(tree.Chains)-1]
+	if len(last) != 5 {
+		t.Fatalf("final chain has %d operators", len(last))
+	}
+	if tree.Joins != 4 {
+		t.Fatalf("joins = %d", tree.Joins)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Bench(t *testing.T) {
+	s := BenchScale()
+	s.Queries = 2
+	s.Fig6Procs = []int{2, 4}
+	fig := Fig6(s, nil)
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for _, pt := range fig.Series[1].Y { // DP relative to SP
+		if pt < 0.8 || pt > 2.5 {
+			t.Fatalf("DP relative performance out of plausible band: %v", fig.Series[1].Y)
+		}
+	}
+	for i := range fig.Series[2].Y { // FP at least as slow as DP on average
+		if fig.Series[2].Y[i]+0.05 < fig.Series[1].Y[i] {
+			t.Fatalf("FP (%v) better than DP (%v)", fig.Series[2].Y, fig.Series[1].Y)
+		}
+	}
+}
+
+func TestFig9BenchSkewInsensitive(t *testing.T) {
+	s := BenchScale()
+	s.Queries = 2
+	s.Fig9Skews = []float64{0, 1}
+	s.Fig9Procs = 4
+	fig := Fig9(s, nil)
+	y := fig.Series[0].Y
+	if y[0] != 1 {
+		t.Fatalf("no-skew reference not 1: %v", y)
+	}
+	// Paper: insignificant; allow generous slack at bench scale.
+	if y[len(y)-1] > 1.6 {
+		t.Fatalf("DP skew degradation too large: %v", y)
+	}
+}
+
+func TestTransferBench(t *testing.T) {
+	s := BenchScale()
+	fig := Transfer(s, nil)
+	dpBytes := fig.Series[0].Y[0]
+	fpBytes := fig.Series[0].Y[1]
+	if fpBytes > 0 && dpBytes > fpBytes {
+		t.Fatalf("DP moved more LB bytes (%v) than FP (%v)", dpBytes, fpBytes)
+	}
+	if fig.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Notes:  []string{"n"},
+	}
+	out := fig.String()
+	for _, want := range []string{"== x: t ==", "a", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParamTables(t *testing.T) {
+	out := ParamTables()
+	for _, want := range []string{"500us", "10000 instr", "17ms", "5ms", "6 MB/s", "8 pages"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("param tables missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestShapesExtension(t *testing.T) {
+	s := BenchScale()
+	s.Queries = 2
+	fig := Shapes(s, nil)
+	if len(fig.Series) != 1 || len(fig.Series[0].Y) != 3 {
+		t.Fatalf("bad shapes figure: %+v", fig)
+	}
+	for i, y := range fig.Series[0].Y {
+		// Deep shapes should not dramatically beat the bushy optimum.
+		if y < 0.5 {
+			t.Fatalf("shape %d beat bushy by >2x: %v", i, fig.Series[0].Y)
+		}
+	}
+}
+
+func TestPlacementSkewExtension(t *testing.T) {
+	s := BenchScale()
+	s.Queries = 2
+	fig := PlacementSkew(s, nil)
+	y := fig.Series[0].Y
+	if y[0] != 1 {
+		t.Fatalf("reference not 1: %v", y)
+	}
+	for _, v := range y {
+		if v <= 0 || v > 5 {
+			t.Fatalf("implausible placement-skew ratio: %v", y)
+		}
+	}
+}
+
+func TestConcurrentChainsExtension(t *testing.T) {
+	s := BenchScale()
+	s.Queries = 2
+	fig := ConcurrentChains(s, nil)
+	y := fig.Series[0].Y
+	if len(y) != 2 || y[0] != 1 {
+		t.Fatalf("bad chains figure: %v", y)
+	}
+	if y[1] <= 0 || y[1] > 3 {
+		t.Fatalf("implausible full-parallel ratio: %v", y[1])
+	}
+}

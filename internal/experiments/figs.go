@@ -1,0 +1,211 @@
+package experiments
+
+// Drivers for the shared-memory experiments (§5.2): Figures 6, 7, 8, 9.
+
+import (
+	"fmt"
+
+	"hierdb/internal/baseline"
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+	"hierdb/internal/metrics"
+	"hierdb/internal/plan"
+)
+
+func mustSP(tree *plan.Tree, cfg cluster.Config) *metrics.Run {
+	r, err := baseline.RunSP(tree, cfg, baseline.DefaultSPOptions())
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustDP(tree *plan.Tree, cfg cluster.Config, mutate func(*core.Options)) *metrics.Run {
+	r, err := baseline.RunDP(tree, cfg, mutate)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustFP(tree *plan.Tree, cfg cluster.Config, rate float64, seed uint64, mutate func(*core.Options)) *metrics.Run {
+	r, err := baseline.RunFP(tree, cfg, rate, seed, mutate)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Fig6 regenerates Figure 6: relative performance of SP, DP and FP on a
+// single SM-node for several processor counts, no skew, SP as reference.
+func Fig6(s Scale, prog Progress) *Figure {
+	w := BuildWorkload(s, 1)
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Relative performance of SP, DP and FP (shared memory, no skew)",
+		XLabel: "processors",
+		YLabel: "avg response time / SP response time",
+	}
+	var xs []float64
+	spY := make([]float64, 0, len(s.Fig6Procs))
+	dpY := make([]float64, 0, len(s.Fig6Procs))
+	fpY := make([]float64, 0, len(s.Fig6Procs))
+	for _, procs := range s.Fig6Procs {
+		cfg := cluster.DefaultConfig(1, procs)
+		var dpSum, fpSum float64
+		for pi, tree := range w.Plans {
+			sp := mustSP(tree, cfg)
+			dp := mustDP(tree, cfg, nil)
+			fp := mustFP(tree, cfg, 0, 1, nil)
+			dpSum += dp.Relative(sp)
+			fpSum += fp.Relative(sp)
+			progress(prog, "fig6 procs=%d plan=%d/%d sp=%v dp=%v fp=%v",
+				procs, pi+1, len(w.Plans), sp.ResponseTime, dp.ResponseTime, fp.ResponseTime)
+		}
+		n := float64(len(w.Plans))
+		xs = append(xs, float64(procs))
+		spY = append(spY, 1)
+		dpY = append(dpY, dpSum/n)
+		fpY = append(fpY, fpSum/n)
+	}
+	fig.Series = []Series{
+		{Label: "SP", X: xs, Y: spY},
+		{Label: "DP", X: xs, Y: dpY},
+		{Label: "FP", X: xs, Y: fpY},
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: SP always best; DP within a few percent of SP; FP always worse, worst at low processor counts")
+	return fig
+}
+
+// Fig7 regenerates Figure 7: relative performance degradation of FP as the
+// cost-model error rate grows, for several degrees of parallelism; SP is
+// the reference response time, a restricted plan set with several random
+// distortions per plan per rate (§5.2.1).
+func Fig7(s Scale, prog Progress) *Figure {
+	w := BuildWorkload(s, 1)
+	plans := w.Plans
+	if len(plans) > s.Fig7Plans {
+		plans = plans[:s.Fig7Plans]
+	}
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Impact of cost model errors on FP",
+		XLabel: "error rate",
+		YLabel: "avg FP response time / SP response time",
+	}
+	for _, procs := range s.Fig7Procs {
+		cfg := cluster.DefaultConfig(1, procs)
+		var xs, ys []float64
+		for _, rate := range s.Fig7Rates {
+			var sum float64
+			n := 0
+			for pi, tree := range plans {
+				sp := mustSP(tree, cfg)
+				for d := 0; d < s.Fig7Draws; d++ {
+					fp := mustFP(tree, cfg, rate, uint64(d+1)*7919, nil)
+					sum += fp.Relative(sp)
+					n++
+				}
+				progress(prog, "fig7 procs=%d rate=%.0f%% plan=%d/%d", procs, rate*100, pi+1, len(plans))
+			}
+			xs = append(xs, rate)
+			ys = append(ys, sum/float64(n))
+		}
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%d procs", procs), X: xs, Y: ys})
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: degradation grows with the error rate; few processors degrade hardest (threshold near 20% at 8 procs)")
+	return fig
+}
+
+// Fig8 regenerates Figure 8: average speedup of SP, DP and FP versus the
+// number of processors (speedup = same-strategy 1-processor response time
+// over p-processor response time).
+func Fig8(s Scale, prog Progress) *Figure {
+	w := BuildWorkload(s, 1)
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Speedup of SP, DP and FP (shared memory, no skew)",
+		XLabel: "processors",
+		YLabel: "avg speedup vs 1 processor",
+	}
+	type runner struct {
+		label string
+		run   func(tree *plan.Tree, cfg cluster.Config) *metrics.Run
+	}
+	runners := []runner{
+		{"SP", func(tr *plan.Tree, cfg cluster.Config) *metrics.Run { return mustSP(tr, cfg) }},
+		{"DP", func(tr *plan.Tree, cfg cluster.Config) *metrics.Run { return mustDP(tr, cfg, nil) }},
+		{"FP", func(tr *plan.Tree, cfg cluster.Config) *metrics.Run { return mustFP(tr, cfg, 0, 1, nil) }},
+	}
+	for _, rn := range runners {
+		base := make([]*metrics.Run, len(w.Plans))
+		baseCfg := cluster.DefaultConfig(1, 1)
+		for pi, tree := range w.Plans {
+			base[pi] = rn.run(tree, baseCfg)
+			progress(prog, "fig8 %s base plan=%d/%d rt=%v", rn.label, pi+1, len(w.Plans), base[pi].ResponseTime)
+		}
+		var xs, ys []float64
+		for _, procs := range s.Fig8Procs {
+			cfg := cluster.DefaultConfig(1, procs)
+			var sum float64
+			for pi, tree := range w.Plans {
+				var r *metrics.Run
+				if procs == 1 {
+					r = base[pi]
+				} else {
+					r = rn.run(tree, cfg)
+				}
+				sum += r.Speedup(base[pi])
+				progress(prog, "fig8 %s procs=%d plan=%d/%d speedup=%.2f",
+					rn.label, procs, pi+1, len(w.Plans), r.Speedup(base[pi]))
+			}
+			xs = append(xs, float64(procs))
+			ys = append(ys, sum/float64(len(w.Plans)))
+		}
+		fig.Series = append(fig.Series, Series{Label: rn.label, X: xs, Y: ys})
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: near-linear speedup for SP and DP up to 32 processors; FP below both")
+	return fig
+}
+
+// Fig9 regenerates Figure 9: relative performance degradation of DP as the
+// redistribution skew (Zipf factor) grows, at the paper's 64 processors;
+// the no-skew run of the same plan is the reference.
+func Fig9(s Scale, prog Progress) *Figure {
+	w := BuildWorkload(s, 1)
+	cfg := cluster.DefaultConfig(1, s.Fig9Procs)
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Impact of redistribution skew on DP (%d processors)", s.Fig9Procs),
+		XLabel: "skew (Zipf)",
+		YLabel: "avg response time / no-skew response time",
+	}
+	base := make([]*metrics.Run, len(w.Plans))
+	for pi, tree := range w.Plans {
+		base[pi] = mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = 0 })
+	}
+	var xs, ys []float64
+	for _, skew := range s.Fig9Skews {
+		skew := skew
+		var sum float64
+		for pi, tree := range w.Plans {
+			var r *metrics.Run
+			if skew == 0 {
+				r = base[pi]
+			} else {
+				r = mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = skew })
+			}
+			sum += r.Relative(base[pi])
+			progress(prog, "fig9 skew=%.1f plan=%d/%d ratio=%.3f", skew, pi+1, len(w.Plans), r.Relative(base[pi]))
+		}
+		xs = append(xs, skew)
+		ys = append(ys, sum/float64(len(w.Plans)))
+	}
+	fig.Series = []Series{{Label: "DP", X: xs, Y: ys}}
+	fig.Notes = append(fig.Notes,
+		"paper: the impact of skew on DP is insignificant (within a few percent up to Zipf 1)")
+	return fig
+}

@@ -1,0 +1,194 @@
+package experiments
+
+// Drivers for the hierarchical (multi-node) experiments of §5.3: the
+// in-text data-transfer comparison and Figure 10.
+
+import (
+	"fmt"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/core"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simdisk"
+	"hierdb/internal/simnet"
+)
+
+// ChainPlan builds the §5.3 micro-benchmark: a single pipeline chain of
+// `ops` operators (one scan plus ops-1 probes). The probing relation is
+// large and the building relations small, so macro-expansion yields a
+// right-deep cascade whose builds complete in the early chains and whose
+// final chain is the long probe pipeline.
+func ChainPlan(ops int, nodes int, cardDiv int64) *plan.Tree {
+	if ops < 2 {
+		panic("experiments: chain needs at least 2 operators")
+	}
+	home := catalog.AllNodes(nodes)
+	big := &catalog.Relation{
+		Name:        "DRIVER",
+		Cardinality: 1_000_000 / cardDiv,
+		TupleBytes:  catalog.DefaultTupleBytes,
+		Home:        home,
+	}
+	rels := []*catalog.Relation{big}
+	var edges []querygen.Edge
+	joins := ops - 1
+	for i := 0; i < joins; i++ {
+		// Medium-sized building relations: shipped hash-table buckets,
+		// not activation payloads, dominate load-balancing traffic, as
+		// in the paper's workloads.
+		small := &catalog.Relation{
+			Name:        fmt.Sprintf("DIM%d", i+1),
+			Cardinality: 200_000 / cardDiv,
+			TupleBytes:  catalog.DefaultTupleBytes,
+			Home:        home,
+		}
+		rels = append(rels, small)
+		// Selectivity keeps the stream cardinality constant along the
+		// chain: |out| = |probe side|.
+		edges = append(edges, querygen.Edge{
+			A: 0, B: i + 1,
+			Selectivity: 1 / float64(small.Cardinality),
+		})
+	}
+	q := &querygen.Query{Name: fmt.Sprintf("chain%d", ops), Relations: rels, Edges: edges}
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	// Left-deep join tree: (((DRIVER x DIM1) x DIM2) ...). The smaller
+	// side (DIMi) becomes the build everywhere, so the final pipeline
+	// chain is Scan(DRIVER) -> Probe1 -> ... -> ProbeN.
+	node := &plan.JoinNode{Rel: big}
+	for i := 0; i < joins; i++ {
+		node = &plan.JoinNode{
+			Left:        node,
+			Right:       &plan.JoinNode{Rel: rels[i+1]},
+			Selectivity: edges[i].Selectivity,
+		}
+	}
+	t := plan.Expand(q.Name, q, node, home)
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	// The last chain must be the ops-long probe pipeline.
+	last := t.Chains[len(t.Chains)-1]
+	if len(last) != ops {
+		panic(fmt.Sprintf("experiments: final chain has %d operators, want %d", len(last), ops))
+	}
+	return t
+}
+
+// Transfer regenerates the §5.3 in-text comparison: the volume of data
+// exchanged between nodes for global load balancing when executing a
+// 5-operator pipeline chain with redistribution skew 0.8 on 4 SM-nodes of
+// 8 processors (paper: FP moves ~9 MB, DP ~2.5 MB, a 2-4x difference).
+func Transfer(s Scale, prog Progress) *Figure {
+	nodes, ppn := 4, 8
+	if s.Name == "bench" {
+		ppn = 2
+	}
+	cfg := cluster.DefaultConfig(nodes, ppn)
+	tree := ChainPlan(5, nodes, s.CardDivisor)
+	skew := 0.8
+
+	dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = skew })
+	progress(prog, "transfer dp rt=%v lbBytes=%d", dp.ResponseTime, dp.BalanceBytes)
+	fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = skew })
+	progress(prog, "transfer fp rt=%v lbBytes=%d", fp.ResponseTime, fp.BalanceBytes)
+
+	fig := &Figure{
+		ID:     "transfer",
+		Title:  "Load-balancing data volume, 5-operator pipeline chain, skew 0.8, " + cfg.String(),
+		XLabel: "strategy (0=DP,1=FP)",
+		YLabel: "bytes shipped for load sharing",
+		Series: []Series{{
+			Label: "LB bytes",
+			X:     []float64{0, 1},
+			Y:     []float64{float64(dp.BalanceBytes), float64(fp.BalanceBytes)},
+		}},
+	}
+	ratio := 0.0
+	if dp.BalanceBytes > 0 {
+		ratio = float64(fp.BalanceBytes) / float64(dp.BalanceBytes)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("DP shipped %d bytes in %d steal rounds (%d succeeded); FP shipped %d bytes in %d rounds (%d succeeded); FP/DP ratio %.2f",
+			dp.BalanceBytes, dp.StealRounds, dp.StealsSucceeded,
+			fp.BalanceBytes, fp.StealRounds, fp.StealsSucceeded, ratio),
+		"paper: FP about 9 MB versus DP about 2.5 MB (FP 2-4x more)")
+	return fig
+}
+
+// Fig10 regenerates Figure 10: relative performance of FP and DP on
+// hierarchical configurations (4 nodes of 8/12/16 processors), with
+// redistribution skew; DP is the reference.
+func Fig10(s Scale, prog Progress) *Figure {
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("Relative performance of FP and DP (hierarchical, skew %.1f)", s.Fig10Skew),
+		XLabel: "procs per node",
+		YLabel: "avg response time / DP response time",
+	}
+	var xs, dpY, fpY []float64
+	var notes []string
+	for _, ppn := range s.Fig10PPN {
+		cfg := cluster.DefaultConfig(s.Fig10Nodes, ppn)
+		w := BuildWorkload(s, s.Fig10Nodes)
+		var fpSum float64
+		var dpIdle, fpIdle, dpLB, fpLB float64
+		for pi, tree := range w.Plans {
+			dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
+			fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
+			fpSum += fp.Relative(dp)
+			dpIdle += dp.Idle.Seconds()
+			fpIdle += fp.Idle.Seconds()
+			dpLB += float64(dp.BalanceBytes)
+			fpLB += float64(fp.BalanceBytes)
+			progress(prog, "fig10 %s plan=%d/%d dp=%v fp=%v fp/dp=%.3f",
+				cfg, pi+1, len(w.Plans), dp.ResponseTime, fp.ResponseTime, fp.Relative(dp))
+		}
+		n := float64(len(w.Plans))
+		xs = append(xs, float64(ppn))
+		dpY = append(dpY, 1)
+		fpY = append(fpY, fpSum/n)
+		lbRatio := 0.0
+		if dpLB > 0 {
+			lbRatio = fpLB / dpLB
+		}
+		notes = append(notes, fmt.Sprintf(
+			"%s: FP/DP=%.3f, LB bytes FP/DP=%.2f, idle per plan DP=%.2fs FP=%.2fs",
+			cfg, fpSum/n, lbRatio, dpIdle/n, fpIdle/n))
+	}
+	fig.Series = []Series{
+		{Label: "DP", X: xs, Y: dpY},
+		{Label: "FP", X: xs, Y: fpY},
+	}
+	fig.Notes = append(fig.Notes, notes...)
+	fig.Notes = append(fig.Notes,
+		"paper: DP outperforms FP by 14-39%; load-balancing traffic 2-4x smaller for DP; DP idle time almost null")
+	return fig
+}
+
+// ParamTables renders the network and disk parameter tables of §5.1.1
+// (tables T1 and T2 of DESIGN.md).
+func ParamTables() string {
+	n := simnet.DefaultParams()
+	d := simdisk.DefaultParams()
+	return fmt.Sprintf(`== T1: network parameters (§5.1.1) ==
+Bandwidth                      infinite (as in the paper, based on [Mehta95])
+End-to-end transmission delay  %v
+CPU cost for sending 8K bytes  %d instr
+CPU cost for receiving 8K      %d instr
+
+== T2: disk parameters (§5.1.1) ==
+Disks                          1 per processor
+Disk latency                   %v
+Seek time                      %v
+Transfer rate                  %d MB/s
+CPU cost for async I/O init    %d instr
+I/O cache size                 %d pages
+`,
+		n.Delay, n.SendInstrPer8KB, n.RecvInstrPer8KB,
+		d.Latency, d.Seek, d.TransferRate>>20, d.InitInstr, d.CachePages)
+}

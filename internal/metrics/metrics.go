@@ -1,0 +1,91 @@
+// Package metrics defines the measurement record every execution produces.
+// The experiments of §5 are computed from these records: response times
+// (always used as ratios between comparable executions, per the paper's
+// methodology in §5.1.3), processor busy/idle breakdowns, and inter-node
+// traffic split into pipeline, control and load-balancing classes.
+package metrics
+
+import (
+	"fmt"
+
+	"hierdb/internal/simtime"
+)
+
+// Run is the outcome of executing one plan under one strategy on one
+// configuration.
+type Run struct {
+	// Strategy is "DP", "FP" or "SP".
+	Strategy string
+	// Plan names the executed plan.
+	Plan string
+	// Config is the topology label ("1x64", "4x8", ...).
+	Config string
+
+	// ResponseTime is the virtual time from query start to global
+	// termination of the root operator.
+	ResponseTime simtime.Duration
+
+	// Busy is CPU time spent executing operator work and overheads,
+	// summed over all worker threads.
+	Busy simtime.Duration
+	// IOWait is time worker threads spent stalled on disk pages with no
+	// other work available.
+	IOWait simtime.Duration
+	// Idle is time worker threads spent asleep with nothing to do
+	// (the quantity §5.3 reports as "processor idle time").
+	Idle simtime.Duration
+
+	// QueueOps counts activation enqueues and dequeues.
+	QueueOps int64
+	// Suspensions counts activation suspensions (the paper's
+	// procedure-call execution switching).
+	Suspensions int64
+
+	// StealRounds counts starving episodes that led to a request for
+	// remote work; StealsSucceeded those that shipped activations.
+	StealRounds, StealsSucceeded int64
+	// StolenActivations counts activations acquired through global load
+	// balancing.
+	StolenActivations int64
+
+	// PipelineMsgs/PipelineBytes is tuple redistribution between nodes.
+	PipelineMsgs, PipelineBytes int64
+	// ControlMsgs/ControlBytes is protocol traffic.
+	ControlMsgs, ControlBytes int64
+	// BalanceMsgs/BalanceBytes is load-sharing payload (stolen
+	// activations plus shipped hash tables) — the quantity compared in
+	// §5.3 (FP ≈ 9 MB vs DP ≈ 2.5 MB).
+	BalanceMsgs, BalanceBytes int64
+
+	// ResultTuples is the number of tuples the root operator produced.
+	ResultTuples int64
+}
+
+// TotalBytes returns all inter-node bytes.
+func (r *Run) TotalBytes() int64 {
+	return r.PipelineBytes + r.ControlBytes + r.BalanceBytes
+}
+
+// String summarizes the run on one line.
+func (r *Run) String() string {
+	return fmt.Sprintf("%s %s on %s: rt=%v busy=%v idle=%v iowait=%v results=%d lbBytes=%d",
+		r.Strategy, r.Plan, r.Config, r.ResponseTime, r.Busy, r.Idle, r.IOWait, r.ResultTuples, r.BalanceBytes)
+}
+
+// Speedup returns base/this as a ratio of response times (e.g. 1-processor
+// time over p-processor time).
+func (r *Run) Speedup(base *Run) float64 {
+	if r.ResponseTime == 0 {
+		return 0
+	}
+	return float64(base.ResponseTime) / float64(r.ResponseTime)
+}
+
+// Relative returns this run's response time divided by the reference run's
+// (the paper's "relative performance", e.g. versus SP).
+func (r *Run) Relative(ref *Run) float64 {
+	if ref.ResponseTime == 0 {
+		return 0
+	}
+	return float64(r.ResponseTime) / float64(ref.ResponseTime)
+}

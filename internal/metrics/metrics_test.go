@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hierdb/internal/simtime"
+)
+
+func TestSpeedupAndRelative(t *testing.T) {
+	base := &Run{ResponseTime: 10 * simtime.Second}
+	fast := &Run{ResponseTime: 2 * simtime.Second}
+	if s := fast.Speedup(base); s != 5 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if r := fast.Relative(base); r != 0.2 {
+		t.Fatalf("relative = %v", r)
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	zero := &Run{}
+	other := &Run{ResponseTime: simtime.Second}
+	if zero.Speedup(other) != 0 {
+		t.Fatal("speedup of zero run")
+	}
+	if other.Relative(zero) != 0 {
+		t.Fatal("relative vs zero reference")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	r := &Run{PipelineBytes: 1, ControlBytes: 2, BalanceBytes: 4}
+	if r.TotalBytes() != 7 {
+		t.Fatalf("total = %d", r.TotalBytes())
+	}
+}
+
+func TestString(t *testing.T) {
+	r := &Run{Strategy: "DP", Plan: "p", Config: "1x4", ResponseTime: simtime.Second}
+	s := r.String()
+	for _, want := range []string{"DP", "p", "1x4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package optimizer produces bushy join trees for the generated queries,
+// standing in for the DBS3 optimizer the paper uses (§5.1.2: "Each query is
+// then run through our DBS3 query optimizer ... For each query, the two
+// best bushy operator trees are retained").
+//
+// The search is exact dynamic programming over connected sub-graphs of the
+// acyclic predicate graph, minimizing the classic sum-of-intermediate-
+// result-sizes objective ([Shekita93]). Because the predicate graph is a
+// tree, every connected split has exactly one crossing join edge.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hierdb/internal/cluster"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+// Optimizer holds the cost model configuration.
+type Optimizer struct {
+	Costs plan.Costs
+	Cfg   cluster.Config
+}
+
+// New returns an optimizer using the given cost constants and machine
+// configuration (the machine matters only through disk/CPU speeds used for
+// time estimates).
+func New(costs plan.Costs, cfg cluster.Config) *Optimizer {
+	return &Optimizer{Costs: costs, Cfg: cfg}
+}
+
+type mask = uint32
+
+type dpEntry struct {
+	cost  float64 // sum of intermediate result cardinalities
+	card  float64 // output cardinality of the sub-plan
+	split mask    // winning left part; 0 for single relations
+	sel   float64 // selectivity of the crossing edge of the split
+}
+
+type searchState struct {
+	q     *querygen.Query
+	n     int
+	adj   [][]int // adjacency: relation -> incident edge indices
+	other []map[int]int
+	conn  []bool
+	best  []dpEntry
+}
+
+// search runs the DP and returns the state. It panics on queries with more
+// than 20 relations (2^n table) or invalid structure.
+func (o *Optimizer) search(q *querygen.Query) *searchState {
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	n := len(q.Relations)
+	if n > 20 {
+		panic(fmt.Sprintf("optimizer: %d relations exceeds DP capacity", n))
+	}
+	s := &searchState{q: q, n: n}
+	s.adj = make([][]int, n)
+	s.other = make([]map[int]int, n)
+	for i := range s.other {
+		s.other[i] = make(map[int]int)
+	}
+	for ei, e := range q.Edges {
+		s.adj[e.A] = append(s.adj[e.A], ei)
+		s.adj[e.B] = append(s.adj[e.B], ei)
+		s.other[e.A][e.B] = ei
+		s.other[e.B][e.A] = ei
+	}
+	size := 1 << n
+	s.conn = make([]bool, size)
+	s.best = make([]dpEntry, size)
+	for i := range s.best {
+		s.best[i] = dpEntry{cost: math.Inf(1)}
+	}
+	// Connectivity and single-relation base cases.
+	for m := 1; m < size; m++ {
+		s.conn[m] = s.connected(mask(m))
+	}
+	for i := 0; i < n; i++ {
+		m := mask(1) << i
+		s.best[m] = dpEntry{cost: 0, card: float64(q.Relations[i].Cardinality)}
+	}
+	// DP over subsets in increasing popcount (increasing numeric order
+	// suffices because every proper submask is numerically smaller).
+	for m := mask(1); int(m) < size; m++ {
+		if !s.conn[m] || bits.OnesCount32(uint32(m)) < 2 {
+			continue
+		}
+		lowest := m & (-m)
+		for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
+			if sub&lowest == 0 {
+				continue // canonical form: left part holds the lowest bit
+			}
+			rest := m ^ sub
+			if !s.conn[sub] || !s.conn[rest] {
+				continue
+			}
+			ei, ok := s.crossingEdge(sub, rest)
+			if !ok {
+				continue
+			}
+			sel := s.q.Edges[ei].Selectivity
+			card := sel * s.best[sub].card * s.best[rest].card
+			if card < 1 {
+				card = 1
+			}
+			cost := s.best[sub].cost + s.best[rest].cost + card
+			if cost < s.best[m].cost {
+				s.best[m] = dpEntry{cost: cost, card: card, split: sub, sel: sel}
+			}
+		}
+		if math.IsInf(s.best[m].cost, 1) {
+			panic("optimizer: connected subset with no plan")
+		}
+	}
+	return s
+}
+
+// connected reports whether the relations in m induce a connected subgraph.
+func (s *searchState) connected(m mask) bool {
+	start := bits.TrailingZeros32(uint32(m))
+	seen := mask(1) << start
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range s.adj[v] {
+			e := s.q.Edges[ei]
+			w := e.A + e.B - v
+			wm := mask(1) << w
+			if m&wm != 0 && seen&wm == 0 {
+				seen |= wm
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen == m
+}
+
+// crossingEdge returns the index of the (unique, since the predicate graph
+// is a tree) edge joining the two parts, if any.
+func (s *searchState) crossingEdge(a, b mask) (int, bool) {
+	for v := 0; v < s.n; v++ {
+		if a&(mask(1)<<v) == 0 {
+			continue
+		}
+		for w, ei := range s.other[v] {
+			if b&(mask(1)<<w) != 0 {
+				return ei, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// buildTree materializes the JoinNode tree for subset m.
+func (s *searchState) buildTree(m mask) *plan.JoinNode {
+	if bits.OnesCount32(uint32(m)) == 1 {
+		i := bits.TrailingZeros32(uint32(m))
+		return &plan.JoinNode{Rel: s.q.Relations[i]}
+	}
+	e := s.best[m]
+	return &plan.JoinNode{
+		Left:        s.buildTree(e.split),
+		Right:       s.buildTree(m ^ e.split),
+		Selectivity: e.sel,
+	}
+}
+
+// BestTrees returns up to k join trees for q, ordered by estimated cost.
+// The first is the DP optimum; subsequent trees are the best trees whose
+// root split differs from all previously selected ones (the paper retains
+// the two best bushy trees per query).
+func (o *Optimizer) BestTrees(q *querygen.Query, k int) []*plan.JoinNode {
+	s := o.search(q)
+	full := mask(1)<<s.n - 1
+	type rootSplit struct {
+		split mask
+		sel   float64
+		cost  float64
+	}
+	var splits []rootSplit
+	lowest := full & (-full)
+	for sub := (full - 1) & full; sub > 0; sub = (sub - 1) & full {
+		if sub&lowest == 0 {
+			continue
+		}
+		rest := full ^ sub
+		if !s.conn[sub] || !s.conn[rest] {
+			continue
+		}
+		ei, ok := s.crossingEdge(sub, rest)
+		if !ok {
+			continue
+		}
+		sel := s.q.Edges[ei].Selectivity
+		card := sel * s.best[sub].card * s.best[rest].card
+		if card < 1 {
+			card = 1
+		}
+		splits = append(splits, rootSplit{
+			split: sub,
+			sel:   sel,
+			cost:  s.best[sub].cost + s.best[rest].cost + card,
+		})
+	}
+	// Selection sort of the k cheapest distinct splits (k is tiny).
+	var trees []*plan.JoinNode
+	used := make(map[mask]bool)
+	for len(trees) < k {
+		bestIdx := -1
+		for i, sp := range splits {
+			if used[sp.split] {
+				continue
+			}
+			if bestIdx == -1 || sp.cost < splits[bestIdx].cost {
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		sp := splits[bestIdx]
+		used[sp.split] = true
+		tree := &plan.JoinNode{
+			Left:        s.buildTree(sp.split),
+			Right:       s.buildTree(full ^ sp.split),
+			Selectivity: sp.sel,
+		}
+		tree.EstimateCards()
+		trees = append(trees, tree)
+	}
+	return trees
+}
+
+// Plans optimizes q and macro-expands its k best trees into execution
+// plans homed on home, with the paper's default scheduling. Plan names
+// append a tree suffix (".t1", ".t2").
+func (o *Optimizer) Plans(q *querygen.Query, k int, home []int) []*plan.Tree {
+	return o.PlansSchedule(q, k, home, plan.DefaultSchedule())
+}
+
+// PlansSchedule is Plans with explicit scheduling heuristics (§2.2), e.g.
+// the full-parallel strategy of §3.2 with both heuristics disabled.
+func (o *Optimizer) PlansSchedule(q *querygen.Query, k int, home []int, sched plan.Schedule) []*plan.Tree {
+	var out []*plan.Tree
+	for i, jt := range o.BestTrees(q, k) {
+		name := fmt.Sprintf("%s.t%d", q.Name, i+1)
+		t := plan.ExpandSchedule(name, q, jt, home, sched)
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// SequentialTime estimates the best plan's response time on one processor
+// with one disk; used by the query-generation gate (§5.1.2: sequential
+// response time between 30 minutes and one hour).
+func (o *Optimizer) SequentialTime(q *querygen.Query) simtime.Duration {
+	seq, _, _ := o.EstimateStats(q)
+	return seq
+}
+
+// EstimateStats returns the best plan's estimated sequential response
+// time, its base-relation volume and its intermediate-result volume (both
+// in tuples). The generation gate bounds both: the paper's 40 plans total
+// about 1.3 GB of base relations and about 4 GB of intermediate results
+// (§5.1.2), i.e. intermediates a small multiple of the base data —
+// without the second bound the response-time window selects degenerate
+// queries whose last join dominates everything.
+func (o *Optimizer) EstimateStats(q *querygen.Query) (seq simtime.Duration, baseTuples, intermediateTuples int64) {
+	trees := o.BestTrees(q, 1)
+	if len(trees) == 0 {
+		return 0, 0, 0
+	}
+	t := plan.Expand(q.Name+".seq", q, trees[0], []int{0})
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case plan.Scan:
+			baseTuples += op.InCard
+		case plan.Probe:
+			intermediateTuples += op.OutCard
+		}
+	}
+	return o.Costs.TreeSequentialTime(t, o.Cfg), baseTuples, intermediateTuples
+}
+
+// DistortedWork computes per-operator work estimates under cost-model
+// errors, following §5.2.1 exactly: "the cardinalities of base and
+// intermediate relations are distorted by a value chosen in [-e,+e], which
+// propagates errors in estimating the cost of operators and the number of
+// allocated processors". Every relation — base or intermediate — draws an
+// independent factor in [1-rate, 1+rate]; an operator's estimated work
+// uses the distorted cardinality of the relation(s) it consumes and
+// produces. Independent per-relation errors are what make the estimated
+// work *ratios* inside a pipeline chain move, and with them FP's processor
+// allocation.
+//
+// With rate 0 the result equals the true Costs.OpWork for every operator.
+// The slice is indexed by operator ID.
+func DistortedWork(t *plan.Tree, r *xrand.Rand, rate float64, costs plan.Costs, cfg cluster.Config) []simtime.Duration {
+	if rate < 0 {
+		panic("optimizer: negative distortion rate")
+	}
+	// distOut[id] is the distorted cardinality of the relation operator
+	// id produces. Base relations draw an independent factor; every join
+	// result multiplies the (already distorted) input estimates by the
+	// selectivity and draws one more factor of its own. Relative errors
+	// therefore *compound* with join depth, exactly the instability of
+	// cost models the paper exploits (an 8-deep intermediate estimate
+	// errs by (1±e)^k, not ±e).
+	distOut := make([]float64, len(t.Ops))
+	distIn := make([]float64, len(t.Ops))
+	work := make([]simtime.Duration, len(t.Ops))
+	// Operators were created children-first during macro-expansion, so a
+	// single pass in ID order sees producers before consumers.
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case plan.Scan:
+			distOut[op.ID] = float64(op.OutCard) * (1 + r.Range(-rate, rate))
+			distIn[op.ID] = distOut[op.ID]
+		case plan.Build:
+			distOut[op.ID] = 0
+		case plan.Probe:
+			distOut[op.ID] = op.Selectivity * distIn[op.ID] * distIn[op.Partner.ID] *
+				(1 + r.Range(-rate, rate))
+		}
+		if c := op.Consumer; c != nil {
+			distIn[c.ID] = distOut[op.ID]
+		}
+		var instr float64
+		switch op.Kind {
+		case plan.Scan:
+			instr = distOut[op.ID] * float64(costs.ScanTuple)
+		case plan.Build:
+			instr = distIn[op.ID] * float64(costs.BuildTuple)
+		case plan.Probe:
+			instr = distIn[op.ID]*float64(costs.ProbeTuple) + distOut[op.ID]*float64(costs.ResultTuple)
+		}
+		work[op.ID] = cfg.InstrTime(int64(instr)) + costs.OpIOTime(op, cfg)
+	}
+	return work
+}

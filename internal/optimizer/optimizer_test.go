@@ -1,0 +1,212 @@
+package optimizer
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+	"hierdb/internal/plan"
+	"hierdb/internal/querygen"
+	"hierdb/internal/simtime"
+	"hierdb/internal/xrand"
+)
+
+func newOpt() *Optimizer {
+	return New(plan.DefaultCosts(), cluster.DefaultConfig(1, 1))
+}
+
+func genQuery(seed uint64, rels int) *querygen.Query {
+	p := querygen.DefaultParams(2)
+	p.Relations = rels
+	return querygen.Generate(xrand.New(seed), "q", p)
+}
+
+func TestBestTreesCoverAllRelations(t *testing.T) {
+	o := newOpt()
+	for seed := uint64(1); seed <= 10; seed++ {
+		q := genQuery(seed, 8)
+		trees := o.BestTrees(q, 2)
+		if len(trees) == 0 {
+			t.Fatalf("seed %d: no trees", seed)
+		}
+		for ti, jt := range trees {
+			count := countLeaves(jt)
+			if count != 8 {
+				t.Fatalf("seed %d tree %d covers %d relations", seed, ti, count)
+			}
+		}
+	}
+}
+
+func countLeaves(n *plan.JoinNode) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func TestTwoBestTreesDifferAtRoot(t *testing.T) {
+	o := newOpt()
+	q := genQuery(3, 10)
+	trees := o.BestTrees(q, 2)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	l1, l2 := leafSet(trees[0].Left), leafSet(trees[1].Left)
+	if l1 == l2 {
+		t.Fatal("both trees share the same root split")
+	}
+}
+
+func leafSet(n *plan.JoinNode) string {
+	if n.IsLeaf() {
+		return n.Rel.Name + ";"
+	}
+	return leafSet(n.Left) + leafSet(n.Right)
+}
+
+func TestOptimalNotWorseThanLeftDeep(t *testing.T) {
+	o := newOpt()
+	for seed := uint64(20); seed < 30; seed++ {
+		q := genQuery(seed, 7)
+		trees := o.BestTrees(q, 1)
+		best := intermediateSum(trees[0])
+		// Any valid alternative must cost at least as much; construct a
+		// greedy tree by joining edges in order.
+		alt := chainTree(q)
+		alt.EstimateCards()
+		if got := intermediateSum(alt); got+1e-6 < best {
+			t.Fatalf("seed %d: DP (%g) worse than greedy (%g)", seed, best, got)
+		}
+	}
+}
+
+func intermediateSum(n *plan.JoinNode) float64 {
+	if n.IsLeaf() {
+		return 0
+	}
+	return float64(n.Card) + intermediateSum(n.Left) + intermediateSum(n.Right)
+}
+
+// chainTree joins relations edge by edge (a valid but usually suboptimal
+// plan).
+func chainTree(q *querygen.Query) *plan.JoinNode {
+	comp := make([]int, len(q.Relations))
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if comp[x] != x {
+			comp[x] = find(comp[x])
+		}
+		return comp[x]
+	}
+	tree := make(map[int]*plan.JoinNode)
+	for i, rel := range q.Relations {
+		tree[i] = &plan.JoinNode{Rel: rel}
+	}
+	var root *plan.JoinNode
+	for _, e := range q.Edges {
+		ca, cb := find(e.A), find(e.B)
+		n := &plan.JoinNode{Left: tree[ca], Right: tree[cb], Selectivity: e.Selectivity}
+		comp[cb] = ca
+		tree[ca] = n
+		root = n
+	}
+	return root
+}
+
+func TestPlansExpandAndValidate(t *testing.T) {
+	o := newOpt()
+	q := genQuery(5, 12)
+	plans := o.Plans(q, 2, catalog.AllNodes(4))
+	if len(plans) != 2 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	for _, pt := range plans {
+		if err := pt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(pt.Chains) != 12 {
+			t.Fatalf("plan %s has %d chains", pt.Name, len(pt.Chains))
+		}
+	}
+	if plans[0].Name == plans[1].Name {
+		t.Fatal("plans share a name")
+	}
+}
+
+func TestSequentialTimePositiveAndStable(t *testing.T) {
+	o := newOpt()
+	q := genQuery(6, 12)
+	t1 := o.SequentialTime(q)
+	t2 := o.SequentialTime(q)
+	if t1 <= 0 {
+		t.Fatalf("sequential time %v", t1)
+	}
+	if t1 != t2 {
+		t.Fatalf("non-deterministic estimate: %v vs %v", t1, t2)
+	}
+}
+
+func TestDistortedWorkZeroRateMatchesTruth(t *testing.T) {
+	o := newOpt()
+	q := genQuery(7, 8)
+	pt := o.Plans(q, 1, catalog.AllNodes(2))[0]
+	work := DistortedWork(pt, xrand.New(1), 0, o.Costs, o.Cfg)
+	for _, op := range pt.Ops {
+		truth := o.Costs.OpWork(op, o.Cfg)
+		got := work[op.ID]
+		diff := got - truth
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding through float64 may shift a few instructions.
+		if truth > 0 && float64(diff)/float64(truth) > 0.01 {
+			t.Fatalf("%s: distorted %v vs truth %v", op.Name, got, truth)
+		}
+	}
+}
+
+func TestDistortedWorkChangesWithRate(t *testing.T) {
+	o := newOpt()
+	q := genQuery(8, 8)
+	pt := o.Plans(q, 1, catalog.AllNodes(2))[0]
+	w0 := DistortedWork(pt, xrand.New(2), 0, o.Costs, o.Cfg)
+	w30 := DistortedWork(pt, xrand.New(2), 0.30, o.Costs, o.Cfg)
+	diff := false
+	for i := range w0 {
+		if w0[i] != w30[i] {
+			diff = true
+		}
+		if w30[i] < 0 {
+			t.Fatalf("negative distorted work %v", w30[i])
+		}
+	}
+	if !diff {
+		t.Fatal("30% distortion changed nothing")
+	}
+}
+
+func TestDistortionStaysBounded(t *testing.T) {
+	// With rate r, a scan's distorted work must stay within (1±r) of
+	// truth (joins may compound).
+	o := newOpt()
+	q := genQuery(9, 6)
+	pt := o.Plans(q, 1, catalog.AllNodes(2))[0]
+	rate := 0.2
+	w := DistortedWork(pt, xrand.New(3), rate, o.Costs, o.Cfg)
+	for _, op := range pt.Ops {
+		if op.Kind != plan.Scan {
+			continue
+		}
+		truth := o.Costs.OpWork(op, o.Cfg)
+		lo := simtime.Duration(float64(truth) * (1 - rate - 0.01))
+		hi := simtime.Duration(float64(truth) * (1 + rate + 0.01))
+		// IO time is not distorted, so the bound is loose but must hold.
+		if w[op.ID] < lo-truth || w[op.ID] > hi+truth {
+			t.Fatalf("%s distorted work %v far outside [%v, %v]", op.Name, w[op.ID], lo, hi)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"hierdb/internal/cluster"
+	"hierdb/internal/simtime"
+)
+
+// Costs holds the per-tuple and per-activation CPU path lengths (in
+// instructions) used by both the optimizer's cost model and the execution
+// simulator. The paper does not list them; the values follow the
+// contemporaneous literature it cites ([Mehta95], [Rahm95]) — a relational
+// operator costs a few thousand instructions per tuple in a real DBMS —
+// and are calibrated so that a 12-relation query runs tens of virtual
+// minutes sequentially (the paper gates on 30–60 minutes, §5.1.2).
+type Costs struct {
+	// ScanTuple is the cost of reading, decoding and filtering one tuple
+	// during a scan.
+	ScanTuple int64
+	// BuildTuple is the cost of hashing and inserting one tuple into a
+	// hash table.
+	BuildTuple int64
+	// ProbeTuple is the cost of hashing one probing tuple and walking
+	// the bucket's hash chain.
+	ProbeTuple int64
+	// ResultTuple is the cost of constructing one output tuple of a
+	// probe.
+	ResultTuple int64
+	// QueueOp is the cost of one queue access (enqueue or dequeue of an
+	// activation), modelling the interference/queue-management overhead
+	// that §5.2.1 attributes to DP.
+	QueueOp int64
+	// Select is the cost of one pass of activation selection over the
+	// circular queue list.
+	Select int64
+	// Suspend is the cost of suspending the current activation by
+	// procedure call (§3.1: much cheaper than OS synchronization).
+	Suspend int64
+	// HashTableTupleBytes is the in-memory size of one hash-table entry
+	// (tuple plus bucket-chain overhead); used to size shipped hash
+	// tables for global load balancing.
+	HashTableOverheadBytes int64
+}
+
+// DefaultCosts returns the calibrated constants (documented in DESIGN.md
+// §3): with these path lengths a 12-relation query whose intermediate
+// results stay within a few times its base data runs 30-60 virtual minutes
+// sequentially at 40 MIPS, matching the paper's generation gate and its
+// ~1.3 GB base / ~4 GB intermediate volumes for 40 plans.
+func DefaultCosts() Costs {
+	return Costs{
+		ScanTuple:              9000,
+		BuildTuple:             3000,
+		ProbeTuple:             6000,
+		ResultTuple:            3000,
+		QueueOp:                300,
+		Select:                 300,
+		Suspend:                100,
+		HashTableOverheadBytes: 16,
+	}
+}
+
+// OpCPUInstr returns the estimated total CPU instructions the operator
+// executes across all its tuples (excluding queue overheads, which depend
+// on the execution model).
+func (c Costs) OpCPUInstr(op *Operator) int64 {
+	switch op.Kind {
+	case Scan:
+		return op.InCard * c.ScanTuple
+	case Build:
+		return op.InCard * c.BuildTuple
+	case Probe:
+		return op.InCard*c.ProbeTuple + op.OutCard*c.ResultTuple
+	}
+	return 0
+}
+
+// OpIOTime returns the estimated total disk time of the operator: scans
+// read their relation partition; builds and probes run in memory (§2.2
+// assumes each pipeline chain fits in memory).
+func (c Costs) OpIOTime(op *Operator, cfg cluster.Config) simtime.Duration {
+	if op.Kind != Scan {
+		return 0
+	}
+	pages := op.Rel.Pages(cfg.Disk.PageSize)
+	return simtime.Duration(pages) * cfg.Disk.PageTransfer()
+}
+
+// OpWork returns the operator's estimated sequential completion time
+// (CPU plus I/O, not overlapped — a deliberate, simple upper bound used
+// only for ranking by the optimizer and for FP's allocation ratios).
+func (c Costs) OpWork(op *Operator, cfg cluster.Config) simtime.Duration {
+	return cfg.InstrTime(c.OpCPUInstr(op)) + c.OpIOTime(op, cfg)
+}
+
+// TreeSequentialTime estimates the plan's response time on a single
+// processor with a single disk: the sum of all operator work.
+func (c Costs) TreeSequentialTime(t *Tree, cfg cluster.Config) simtime.Duration {
+	var total simtime.Duration
+	for _, op := range t.Ops {
+		total += c.OpWork(op, cfg)
+	}
+	return total
+}
+
+// HashTableBytes returns the estimated memory footprint of a hash table
+// holding n tuples of the given width.
+func (c Costs) HashTableBytes(n, tupleBytes int64) int64 {
+	return n * (tupleBytes + c.HashTableOverheadBytes)
+}

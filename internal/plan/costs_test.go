@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/cluster"
+)
+
+func TestOpCPUInstr(t *testing.T) {
+	c := DefaultCosts()
+	scan := &Operator{Kind: Scan, InCard: 100}
+	if got := c.OpCPUInstr(scan); got != 100*c.ScanTuple {
+		t.Errorf("scan instr = %d", got)
+	}
+	build := &Operator{Kind: Build, InCard: 50}
+	if got := c.OpCPUInstr(build); got != 50*c.BuildTuple {
+		t.Errorf("build instr = %d", got)
+	}
+	probe := &Operator{Kind: Probe, InCard: 50, OutCard: 20}
+	if got := c.OpCPUInstr(probe); got != 50*c.ProbeTuple+20*c.ResultTuple {
+		t.Errorf("probe instr = %d", got)
+	}
+}
+
+func TestOpIOTimeOnlyScans(t *testing.T) {
+	c := DefaultCosts()
+	cfg := cluster.DefaultConfig(1, 1)
+	rel := &catalog.Relation{Name: "r", Cardinality: 1000, TupleBytes: 100, Home: []int{0}}
+	scan := &Operator{Kind: Scan, Rel: rel, InCard: 1000}
+	if c.OpIOTime(scan, cfg) <= 0 {
+		t.Error("scan has no IO time")
+	}
+	if c.OpIOTime(&Operator{Kind: Build}, cfg) != 0 {
+		t.Error("build has IO time")
+	}
+	if c.OpIOTime(&Operator{Kind: Probe}, cfg) != 0 {
+		t.Error("probe has IO time")
+	}
+}
+
+func TestTreeSequentialTimePositive(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	c := DefaultCosts()
+	cfg := cluster.DefaultConfig(1, 1)
+	seq := c.TreeSequentialTime(pt, cfg)
+	if seq <= 0 {
+		t.Fatalf("sequential time = %v", seq)
+	}
+	// Must exceed the raw scan IO of all four relations.
+	var io int64
+	for _, op := range pt.Ops {
+		if op.Kind == Scan {
+			io += int64(c.OpIOTime(op, cfg))
+		}
+	}
+	if int64(seq) <= io {
+		t.Fatalf("sequential %v not above IO %v", seq, io)
+	}
+}
+
+func TestHashTableBytes(t *testing.T) {
+	c := DefaultCosts()
+	if got := c.HashTableBytes(10, 100); got != 10*(100+c.HashTableOverheadBytes) {
+		t.Errorf("HashTableBytes = %d", got)
+	}
+}

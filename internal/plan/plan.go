@@ -1,0 +1,455 @@
+// Package plan represents parallel execution plans as defined in §2.2 of
+// the paper: an operator tree obtained by macro-expansion of a (bushy) join
+// tree, adorned with operator scheduling (a partial order implementing the
+// blocking constraints of the hash-join method plus the optimizer's
+// heuristics) and operator homes.
+//
+// Three operators implement a hash join: scan reads a base relation, build
+// inserts the building side into per-bucket hash tables (blocking output),
+// probe streams the probing side against those tables (pipelinable output).
+// An operator tree decomposes into maximal pipeline chains, each driven by a
+// scan and flowing through probes until it hits a blocking edge (a build) or
+// the query result.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/querygen"
+)
+
+// OpKind enumerates the three atomic operators of §2.2.
+type OpKind int
+
+const (
+	// Scan reads a base relation bucket by bucket.
+	Scan OpKind = iota
+	// Build inserts tuples into the hash table of their bucket; its
+	// output (the hash table) is blocking.
+	Build
+	// Probe probes tuples against the partner build's hash table and
+	// emits result tuples in pipeline mode.
+	Probe
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Scan:
+		return "scan"
+	case Build:
+		return "build"
+	case Probe:
+		return "probe"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Operator is a node of the operator tree.
+type Operator struct {
+	// ID indexes the operator in Tree.Ops.
+	ID int
+	// Kind is scan, build or probe.
+	Kind OpKind
+	// Name is a human-readable label (Scan1, Build2, ...).
+	Name string
+
+	// Rel is the scanned relation; scan operators only.
+	Rel *catalog.Relation
+
+	// Join identifies the hash join this build/probe implements (the
+	// join's index in macro-expansion order); -1 for scans.
+	Join int
+	// Partner links build to probe and vice versa; nil for scans.
+	Partner *Operator
+
+	// Consumer receives this operator's output tuples: a build or probe
+	// for scans and probes; nil for a build (its output is its hash
+	// table) and for the root probe (its output is the query result).
+	Consumer *Operator
+
+	// Home is the set of SM-node IDs allowed to execute the operator
+	// (§2.2). The scan home must equal the relation home; build and
+	// probe of one join share a home.
+	Home []int
+
+	// Blockers lists the operators that must terminate before this one
+	// may start consuming (operator scheduling, §2.2).
+	Blockers []*Operator
+
+	// Chain is the index of this operator's pipeline chain in
+	// Tree.Chains.
+	Chain int
+
+	// Estimates (from optimizer statistics; exact because the simulation
+	// is counts-based, distorted copies are used for FP's error study).
+	// InCard is the number of input tuples the operator processes;
+	// OutCard the number of tuples it emits downstream.
+	InCard, OutCard int64
+	// Selectivity is the join selectivity factor for probes, 1 for
+	// scans/builds.
+	Selectivity float64
+	// TupleBytes is the width of the tuples flowing through.
+	TupleBytes int64
+}
+
+// IsDriver reports whether the operator is the scan driving its pipeline
+// chain.
+func (o *Operator) IsDriver() bool { return o.Kind == Scan }
+
+// Tree is a parallel execution plan.
+type Tree struct {
+	// Name identifies the plan (query name plus tree variant).
+	Name string
+	// Query is the originating query.
+	Query *querygen.Query
+	// Ops lists all operators; Ops[i].ID == i.
+	Ops []*Operator
+	// Root is the operator producing the final result.
+	Root *Operator
+	// Chains lists the pipeline chains in scheduled execution order
+	// (chains are executed one-at-a-time, §5.1.2). Each chain lists its
+	// operators from driver scan to terminal operator.
+	Chains [][]*Operator
+	// Joins is the number of hash joins.
+	Joins int
+}
+
+// BuildSide forces the build side of a join during macro-expansion.
+type BuildSide int8
+
+const (
+	// BuildAuto builds on the smaller estimated side (the default).
+	BuildAuto BuildSide = iota
+	// BuildLeft and BuildRight force the side, which is how the deep
+	// tree shapes of §2.2 (left-deep, right-deep, zigzag [Ziane93])
+	// control their pipeline structure.
+	BuildLeft
+	BuildRight
+)
+
+// JoinNode is a node of a (bushy) join tree prior to macro-expansion.
+// Either Rel is set (leaf), or Left/Right/Selectivity are set (join).
+type JoinNode struct {
+	Rel         *catalog.Relation
+	Left, Right *JoinNode
+	Selectivity float64
+	// Build forces the build side (BuildAuto picks the smaller child).
+	Build BuildSide
+	// Card is the estimated output cardinality of the subtree.
+	Card int64
+}
+
+// IsLeaf reports whether n is a base relation.
+func (n *JoinNode) IsLeaf() bool { return n.Rel != nil }
+
+// EstimateCards fills in Card bottom-up: leaves take the relation
+// cardinality, joins sel*|L|*|R| (at least 1).
+func (n *JoinNode) EstimateCards() int64 {
+	if n.IsLeaf() {
+		n.Card = n.Rel.Cardinality
+		return n.Card
+	}
+	l := n.Left.EstimateCards()
+	r := n.Right.EstimateCards()
+	c := n.Selectivity * float64(l) * float64(r)
+	if c < 1 {
+		c = 1
+	}
+	// Cap absurd estimates so the int64 conversion stays defined; real
+	// optimizer-chosen trees never get near this.
+	if c > 1e15 {
+		c = 1e15
+	}
+	n.Card = int64(c)
+	return n.Card
+}
+
+// Schedule selects which of the optimizer's scheduling heuristics (§2.2,
+// Figure 2) the plan carries beyond the mandatory hash constraint
+// Build_i < Probe_i.
+type Schedule struct {
+	// TablesReady is heuristic 1: a pipeline chain starts only when all
+	// the hash tables it probes are ready.
+	TablesReady bool
+	// OneChainAtATime is heuristic 2: pipeline chains execute
+	// sequentially. Disabling both yields the "full parallel strategy"
+	// of [Wilshut95] discussed in §3.2 — more concurrent operators give
+	// load balancing more options at the price of memory. The FP
+	// baseline requires OneChainAtATime (its allocation is per chain).
+	OneChainAtATime bool
+}
+
+// DefaultSchedule matches the paper's experiments (§5.1.2: "pipeline
+// chains are executed one-at-a-time").
+func DefaultSchedule() Schedule {
+	return Schedule{TablesReady: true, OneChainAtATime: true}
+}
+
+// Expand macro-expands the join tree into an operator tree (§2.2) with the
+// paper's default scheduling. The build side of each join is the child
+// with the smaller estimated cardinality. Every operator is homed on home.
+func Expand(name string, q *querygen.Query, root *JoinNode, home []int) *Tree {
+	return ExpandSchedule(name, q, root, home, DefaultSchedule())
+}
+
+// ExpandSchedule is Expand with explicit scheduling heuristics.
+func ExpandSchedule(name string, q *querygen.Query, root *JoinNode, home []int, sched Schedule) *Tree {
+	root.EstimateCards()
+	t := &Tree{Name: name, Query: q}
+	b := &expander{tree: t, home: home, sched: sched}
+	out := b.expand(root)
+	t.Root = out
+	t.Joins = b.joins
+	b.buildChains()
+	b.schedule()
+	return t
+}
+
+type expander struct {
+	tree  *Tree
+	home  []int
+	joins int
+	sched Schedule
+}
+
+func (b *expander) newOp(kind OpKind, label string) *Operator {
+	op := &Operator{
+		ID:          len(b.tree.Ops),
+		Kind:        kind,
+		Name:        label,
+		Join:        -1,
+		Selectivity: 1,
+		Home:        b.home,
+		Chain:       -1,
+		TupleBytes:  catalog.DefaultTupleBytes,
+	}
+	b.tree.Ops = append(b.tree.Ops, op)
+	return op
+}
+
+// expand returns the operator producing the subtree's output stream.
+func (b *expander) expand(n *JoinNode) *Operator {
+	if n.IsLeaf() {
+		op := b.newOp(Scan, fmt.Sprintf("Scan(%s)", n.Rel.Name))
+		op.Rel = n.Rel
+		op.Home = n.Rel.Home
+		op.InCard = n.Rel.Cardinality
+		op.OutCard = n.Rel.Cardinality
+		op.TupleBytes = n.Rel.TupleBytes
+		return op
+	}
+	// Build on the smaller side, probe with the larger, unless the tree
+	// shape forces a side.
+	buildChild, probeChild := n.Left, n.Right
+	switch n.Build {
+	case BuildAuto:
+		if buildChild.Card > probeChild.Card {
+			buildChild, probeChild = probeChild, buildChild
+		}
+	case BuildRight:
+		buildChild, probeChild = n.Right, n.Left
+	}
+	buildIn := b.expand(buildChild)
+	probeIn := b.expand(probeChild)
+
+	j := b.joins
+	b.joins++
+	bld := b.newOp(Build, fmt.Sprintf("Build%d", j+1))
+	prb := b.newOp(Probe, fmt.Sprintf("Probe%d", j+1))
+	bld.Join, prb.Join = j, j
+	bld.Partner, prb.Partner = prb, bld
+	buildIn.Consumer = bld
+	probeIn.Consumer = prb
+	bld.InCard = buildIn.OutCard
+	prb.InCard = probeIn.OutCard
+	prb.OutCard = n.Card
+	prb.Selectivity = n.Selectivity
+	// Hash-join constraint: probe cannot start before its build ends.
+	prb.Blockers = append(prb.Blockers, bld)
+	return prb
+}
+
+// buildChains groups operators into maximal pipeline chains. A chain is
+// driven by a scan; probes join the chain of their pipelined input; a build
+// terminates the chain of its input (blocking output).
+func (b *expander) buildChains() {
+	t := b.tree
+	// chainOf maps a producing operator to its chain id by following the
+	// pipelined dataflow from each scan.
+	for _, op := range t.Ops {
+		if op.Kind != Scan {
+			continue
+		}
+		chain := []*Operator{op}
+		cur := op
+		for cur.Consumer != nil {
+			next := cur.Consumer
+			chain = append(chain, next)
+			if next.Kind == Build {
+				break // blocking output terminates the chain
+			}
+			cur = next
+		}
+		id := len(t.Chains)
+		for _, c := range chain {
+			c.Chain = id
+		}
+		t.Chains = append(t.Chains, chain)
+	}
+	// Order chains so that the chain containing Build_j precedes the
+	// chain containing Probe_j (hash-table availability), using a
+	// deterministic topological sort (Kahn, smallest id first).
+	n := len(t.Chains)
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	for _, op := range t.Ops {
+		if op.Kind != Build {
+			continue
+		}
+		from, to := op.Chain, op.Partner.Chain
+		if from == to {
+			panic("plan: build and partner probe in one chain")
+		}
+		succ[from] = append(succ[from], to)
+		indeg[to]++
+	}
+	order := make([]int, 0, n)
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Pick the smallest ready chain id for determinism.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		c := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, c)
+		for _, s := range succ[c] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("plan: cyclic chain dependencies")
+	}
+	reordered := make([][]*Operator, n)
+	for newID, oldID := range order {
+		reordered[newID] = t.Chains[oldID]
+		for _, op := range reordered[newID] {
+			op.Chain = newID
+		}
+	}
+	t.Chains = reordered
+}
+
+// schedule installs the blocking constraints of §2.2/Figure 2:
+// the hash constraint Build_i < Probe_i (already added during expansion),
+// heuristic 1 (a chain starts only when the hash tables it probes are
+// ready) and heuristic 2 (chains execute one-at-a-time).
+func (b *expander) schedule() {
+	t := b.tree
+	for i, chain := range t.Chains {
+		driver := chain[0]
+		// Heuristic 1: all hash tables probed by this chain must be
+		// built first.
+		if b.sched.TablesReady {
+			for _, op := range chain {
+				if op.Kind == Probe {
+					driver.Blockers = append(driver.Blockers, op.Partner)
+				}
+			}
+		}
+		// Heuristic 2: one chain at a time — the driver waits for every
+		// operator of the previous chain.
+		if b.sched.OneChainAtATime && i > 0 {
+			driver.Blockers = append(driver.Blockers, t.Chains[i-1]...)
+		}
+	}
+}
+
+// Validate checks plan invariants.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("plan %s: no root", t.Name)
+	}
+	for i, op := range t.Ops {
+		if op.ID != i {
+			return fmt.Errorf("plan %s: op %d has ID %d", t.Name, i, op.ID)
+		}
+		switch op.Kind {
+		case Scan:
+			if op.Rel == nil {
+				return fmt.Errorf("plan %s: %s has no relation", t.Name, op.Name)
+			}
+			if op.Consumer == nil {
+				return fmt.Errorf("plan %s: %s has no consumer", t.Name, op.Name)
+			}
+		case Build:
+			if op.Partner == nil || op.Partner.Kind != Probe {
+				return fmt.Errorf("plan %s: %s has bad partner", t.Name, op.Name)
+			}
+			if op.Consumer != nil {
+				return fmt.Errorf("plan %s: %s (build) has a consumer", t.Name, op.Name)
+			}
+		case Probe:
+			if op.Partner == nil || op.Partner.Kind != Build {
+				return fmt.Errorf("plan %s: %s has bad partner", t.Name, op.Name)
+			}
+			if op != t.Root && op.Consumer == nil {
+				return fmt.Errorf("plan %s: non-root %s has no consumer", t.Name, op.Name)
+			}
+		}
+		if op.Chain < 0 || op.Chain >= len(t.Chains) {
+			return fmt.Errorf("plan %s: %s not in a chain", t.Name, op.Name)
+		}
+		if len(op.Home) == 0 {
+			return fmt.Errorf("plan %s: %s has empty home", t.Name, op.Name)
+		}
+	}
+	// Blockers must reference earlier-or-same chains, never later ones
+	// (otherwise one-at-a-time execution deadlocks).
+	for _, op := range t.Ops {
+		for _, bl := range op.Blockers {
+			if bl.Chain > op.Chain {
+				return fmt.Errorf("plan %s: %s blocked by later-chain %s", t.Name, op.Name, bl.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the chains for debugging.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s: %d ops, %d joins, %d chains\n", t.Name, len(t.Ops), t.Joins, len(t.Chains))
+	for i, chain := range t.Chains {
+		fmt.Fprintf(&sb, "  chain %d:", i)
+		for _, op := range chain {
+			fmt.Fprintf(&sb, " %s(in=%d,out=%d)", op.Name, op.InCard, op.OutCard)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TotalInputTuples sums InCard over all operators (a rough measure of plan
+// work used in tests and reports).
+func (t *Tree) TotalInputTuples() int64 {
+	var n int64
+	for _, op := range t.Ops {
+		n += op.InCard
+	}
+	return n
+}

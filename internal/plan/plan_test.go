@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/querygen"
+	"hierdb/internal/xrand"
+)
+
+// fig2Query builds the 4-relation query of the paper's Figure 2:
+// R join S join T join U with a bushy tree ((R⋈S)⋈(T⋈U)).
+func fig2Query() (*querygen.Query, *JoinNode) {
+	home := catalog.AllNodes(2)
+	mk := func(name string, card int64) *catalog.Relation {
+		return &catalog.Relation{Name: name, Cardinality: card, TupleBytes: 100, Home: home}
+	}
+	r, s, tt, u := mk("R", 10_000), mk("S", 40_000), mk("T", 20_000), mk("U", 80_000)
+	q := &querygen.Query{
+		Name:      "fig2",
+		Relations: []*catalog.Relation{r, s, tt, u},
+		Edges: []querygen.Edge{
+			{A: 0, B: 1, Selectivity: 1.0 / 10_000},
+			{A: 1, B: 2, Selectivity: 1.0 / 40_000},
+			{A: 2, B: 3, Selectivity: 1.0 / 80_000},
+		},
+	}
+	tree := &JoinNode{
+		Left: &JoinNode{
+			Left:        &JoinNode{Rel: r},
+			Right:       &JoinNode{Rel: s},
+			Selectivity: 1.0 / 10_000,
+		},
+		Right: &JoinNode{
+			Left:        &JoinNode{Rel: tt},
+			Right:       &JoinNode{Rel: u},
+			Selectivity: 1.0 / 20_000,
+		},
+		Selectivity: 1.0 / 80_000,
+	}
+	return q, tree
+}
+
+func TestExpandFig2Shape(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 scans + 3 builds + 3 probes = 10 operators, 3 joins, 4 chains.
+	if len(pt.Ops) != 10 {
+		t.Fatalf("ops = %d", len(pt.Ops))
+	}
+	if pt.Joins != 3 {
+		t.Fatalf("joins = %d", pt.Joins)
+	}
+	if len(pt.Chains) != 4 {
+		t.Fatalf("chains = %d: %s", len(pt.Chains), pt)
+	}
+	if pt.Root.Kind != Probe {
+		t.Fatalf("root kind = %v", pt.Root.Kind)
+	}
+	if pt.Root.Consumer != nil {
+		t.Fatal("root has a consumer")
+	}
+}
+
+func TestExpandBuildsOnSmallerSide(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	for _, op := range pt.Ops {
+		if op.Kind != Build {
+			continue
+		}
+		// The build input cardinality must not exceed its partner
+		// probe's input cardinality.
+		if op.InCard > op.Partner.InCard {
+			t.Errorf("%s builds larger side: %d > %d", op.Name, op.InCard, op.Partner.InCard)
+		}
+	}
+}
+
+func TestChainsPipelineStructure(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	for i, chain := range pt.Chains {
+		if chain[0].Kind != Scan {
+			t.Fatalf("chain %d not driven by a scan", i)
+		}
+		for j, op := range chain[1:] {
+			if op.Kind == Scan {
+				t.Fatalf("chain %d has interior scan at %d", i, j+1)
+			}
+		}
+		last := chain[len(chain)-1]
+		if last.Kind == Build {
+			continue // terminated by blocking output
+		}
+		if last != pt.Root {
+			t.Fatalf("chain %d ends at %s which is neither build nor root", i, last.Name)
+		}
+	}
+}
+
+func TestChainOrderRespectsHashDependencies(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	for _, op := range pt.Ops {
+		if op.Kind == Build && op.Partner.Chain <= op.Chain {
+			t.Fatalf("%s (chain %d) must precede %s (chain %d)",
+				op.Name, op.Chain, op.Partner.Name, op.Partner.Chain)
+		}
+	}
+}
+
+func TestSchedulingHeuristics(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	// Every probe is blocked by its build (hash constraint).
+	for _, op := range pt.Ops {
+		if op.Kind != Probe {
+			continue
+		}
+		found := false
+		for _, b := range op.Blockers {
+			if b == op.Partner {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s lacks hash constraint on %s", op.Name, op.Partner.Name)
+		}
+	}
+	// Heuristic 2: each non-first chain's driver is blocked by all
+	// operators of the previous chain.
+	for i := 1; i < len(pt.Chains); i++ {
+		driver := pt.Chains[i][0]
+		for _, prev := range pt.Chains[i-1] {
+			found := false
+			for _, b := range driver.Blockers {
+				if b == prev {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("chain %d driver %s not blocked by %s", i, driver.Name, prev.Name)
+			}
+		}
+	}
+	// Heuristic 1: drivers are blocked by the builds their chain probes.
+	for _, chain := range pt.Chains {
+		driver := chain[0]
+		for _, op := range chain {
+			if op.Kind != Probe {
+				continue
+			}
+			found := false
+			for _, b := range driver.Blockers {
+				if b == op.Partner {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("driver %s not blocked by %s (heuristic 1)", driver.Name, op.Partner.Name)
+			}
+		}
+	}
+}
+
+func TestEstimateCards(t *testing.T) {
+	_, jt := fig2Query()
+	card := jt.EstimateCards()
+	if card <= 0 {
+		t.Fatalf("root card = %d", card)
+	}
+	// R join S: sel 1/10000 * 10000 * 40000 = 40000.
+	if jt.Left.Card != 40_000 {
+		t.Fatalf("left join card = %d, want 40000", jt.Left.Card)
+	}
+}
+
+func TestEstimateCardsFloor(t *testing.T) {
+	home := catalog.AllNodes(1)
+	a := &catalog.Relation{Name: "a", Cardinality: 10, TupleBytes: 100, Home: home}
+	b := &catalog.Relation{Name: "b", Cardinality: 10, TupleBytes: 100, Home: home}
+	n := &JoinNode{Left: &JoinNode{Rel: a}, Right: &JoinNode{Rel: b}, Selectivity: 1e-9}
+	if c := n.EstimateCards(); c != 1 {
+		t.Fatalf("card = %d, want floor 1", c)
+	}
+}
+
+func TestExpandRandomQueriesValidate(t *testing.T) {
+	r := xrand.New(77)
+	for i := 0; i < 20; i++ {
+		p := querygen.DefaultParams(4)
+		p.Relations = 3 + r.Intn(10)
+		q := querygen.Generate(r, "q", p)
+		// Left-deep tree over edge order, just for structural testing.
+		jt := leftDeep(q)
+		pt := Expand("q.t", q, jt, catalog.AllNodes(4))
+		if err := pt.Validate(); err != nil {
+			t.Fatalf("query %d: %v\n%s", i, err, pt)
+		}
+		if len(pt.Chains) != p.Relations {
+			t.Fatalf("query %d: %d chains for %d relations", i, len(pt.Chains), p.Relations)
+		}
+	}
+}
+
+// leftDeep builds some valid join tree by greedily connecting relations in
+// the order edges reach them.
+func leftDeep(q *querygen.Query) *JoinNode {
+	nodes := make(map[int]*JoinNode)
+	for i, rel := range q.Relations {
+		nodes[i] = &JoinNode{Rel: rel}
+	}
+	// Union relations along edges; each edge merges two components.
+	comp := make([]int, len(q.Relations))
+	for i := range comp {
+		comp[i] = i
+	}
+	find := func(x int) int {
+		for comp[x] != x {
+			x = comp[x]
+		}
+		return x
+	}
+	tree := make(map[int]*JoinNode)
+	for i := range q.Relations {
+		tree[i] = nodes[i]
+	}
+	var root *JoinNode
+	for _, e := range q.Edges {
+		ca, cb := find(e.A), find(e.B)
+		n := &JoinNode{Left: tree[ca], Right: tree[cb], Selectivity: e.Selectivity}
+		comp[cb] = ca
+		tree[ca] = n
+		root = n
+	}
+	return root
+}
+
+func TestOpKindString(t *testing.T) {
+	if Scan.String() != "scan" || Build.String() != "build" || Probe.String() != "probe" {
+		t.Error("bad kind names")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	q, jt := fig2Query()
+	pt := Expand("fig2.t1", q, jt, catalog.AllNodes(2))
+	s := pt.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	if pt.TotalInputTuples() <= 0 {
+		t.Fatal("no input tuples")
+	}
+}

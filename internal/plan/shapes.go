@@ -1,0 +1,116 @@
+package plan
+
+// Join-tree shapes. §2.2 lists the shapes the literature considers —
+// left-deep, right-deep, segmented right-deep, zigzag [Ziane93] and bushy —
+// and the paper concentrates on bushy trees (the optimizer's output).
+// These constructors build the deep shapes for a given query so the
+// execution models can be compared across shapes: with hash joins the
+// shape decides pipeline-chain structure. In a right-deep tree every hash
+// table is built from a base relation and the query runs as one long probe
+// pipeline; in a left-deep tree every intermediate result is materialized
+// into the next hash table, so chains are short.
+
+import (
+	"fmt"
+
+	"hierdb/internal/querygen"
+)
+
+// Shape names a join-tree shape.
+type Shape int
+
+const (
+	// LeftDeep materializes each intermediate result into the next hash
+	// table (builds on the left/intermediate side).
+	LeftDeep Shape = iota
+	// RightDeep builds every hash table from a base relation and probes
+	// with the running intermediate (one maximal pipeline).
+	RightDeep
+	// Zigzag alternates build sides level by level [Ziane93].
+	Zigzag
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case LeftDeep:
+		return "left-deep"
+	case RightDeep:
+		return "right-deep"
+	case Zigzag:
+		return "zigzag"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// DeepTree builds a deep join tree of the given shape for q. Relations
+// are joined in a deterministic connected order: starting from the
+// largest relation, the adjacent (by join predicate) relation with the
+// smallest cardinality is attached next, so hash tables stay as small as
+// the shape permits. The returned tree covers every relation and only
+// uses predicate-graph edges.
+func DeepTree(q *querygen.Query, shape Shape) (*JoinNode, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(q.Relations)
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = make(map[int]float64)
+	}
+	for _, e := range q.Edges {
+		adj[e.A][e.B] = e.Selectivity
+		adj[e.B][e.A] = e.Selectivity
+	}
+	// Start from the largest relation: it anchors the probe pipeline.
+	start := 0
+	for i, r := range q.Relations {
+		if r.Cardinality > q.Relations[start].Cardinality {
+			start = i
+		}
+	}
+	joined := map[int]bool{start: true}
+	cur := &JoinNode{Rel: q.Relations[start]}
+	level := 0
+	for len(joined) < n {
+		// The adjacent, unjoined relation with the smallest
+		// cardinality (ties by index).
+		next, bestCard := -1, int64(0)
+		var sel float64
+		for v := range joined {
+			for w, s := range adj[v] {
+				if joined[w] {
+					continue
+				}
+				c := q.Relations[w].Cardinality
+				if next == -1 || c < bestCard || (c == bestCard && w < next) {
+					next, bestCard, sel = w, c, s
+				}
+			}
+		}
+		if next == -1 {
+			return nil, fmt.Errorf("plan: predicate graph of %s is disconnected", q.Name)
+		}
+		leaf := &JoinNode{Rel: q.Relations[next]}
+		node := &JoinNode{Left: cur, Right: leaf, Selectivity: sel}
+		switch shape {
+		case LeftDeep:
+			node.Build = BuildLeft // materialize the intermediate
+		case RightDeep:
+			node.Build = BuildRight // build from the base relation
+		case Zigzag:
+			if level%2 == 0 {
+				node.Build = BuildRight
+			} else {
+				node.Build = BuildLeft
+			}
+		default:
+			return nil, fmt.Errorf("plan: unknown shape %v", shape)
+		}
+		cur = node
+		joined[next] = true
+		level++
+	}
+	cur.EstimateCards()
+	return cur, nil
+}

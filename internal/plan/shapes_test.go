@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"testing"
+
+	"hierdb/internal/catalog"
+	"hierdb/internal/querygen"
+	"hierdb/internal/xrand"
+)
+
+func shapeQuery(seed uint64, rels int) *querygen.Query {
+	p := querygen.DefaultParams(1)
+	p.Relations = rels
+	return querygen.Generate(xrand.New(seed), "sq", p)
+}
+
+func TestDeepTreeCoversAllRelations(t *testing.T) {
+	q := shapeQuery(1, 8)
+	for _, shape := range []Shape{LeftDeep, RightDeep, Zigzag} {
+		jt, err := DeepTree(q, shape)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if got := countLeaves(jt); got != 8 {
+			t.Fatalf("%v covers %d relations", shape, got)
+		}
+	}
+}
+
+func countLeaves(n *JoinNode) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func TestRightDeepIsOnePipeline(t *testing.T) {
+	q := shapeQuery(2, 6)
+	jt, err := DeepTree(q, RightDeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := Expand("rd", q, jt, catalog.AllNodes(1))
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Right-deep: every build input is a scan, and the final chain holds
+	// the driver scan plus every probe (6 operators for 5 joins).
+	for _, op := range pt.Ops {
+		if op.Kind != Scan || op.Consumer == nil {
+			continue
+		}
+	}
+	last := pt.Chains[len(pt.Chains)-1]
+	if len(last) != 6 {
+		t.Fatalf("final right-deep chain has %d operators, want 6: %s", len(last), pt)
+	}
+}
+
+func TestLeftDeepHasShortChains(t *testing.T) {
+	q := shapeQuery(3, 6)
+	jt, err := DeepTree(q, LeftDeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := Expand("ld", q, jt, catalog.AllNodes(1))
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Left-deep: every chain is at most scan+probe+build (3 operators) —
+	// intermediates are always materialized into the next hash table.
+	for i, chain := range pt.Chains {
+		if len(chain) > 3 {
+			t.Fatalf("left-deep chain %d has %d operators: %s", i, len(chain), pt)
+		}
+	}
+}
+
+func TestZigzagAlternates(t *testing.T) {
+	q := shapeQuery(4, 7)
+	jt, err := DeepTree(q, Zigzag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := Expand("zz", q, jt, catalog.AllNodes(1))
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zigzag chains are longer than left-deep but shorter than the full
+	// right-deep pipeline.
+	maxChain := 0
+	for _, chain := range pt.Chains {
+		if len(chain) > maxChain {
+			maxChain = len(chain)
+		}
+	}
+	if maxChain <= 2 || maxChain >= 7 {
+		t.Fatalf("zigzag max chain %d out of expected band: %s", maxChain, pt)
+	}
+}
+
+func TestForceBuildSides(t *testing.T) {
+	home := catalog.AllNodes(1)
+	small := &catalog.Relation{Name: "s", Cardinality: 100, TupleBytes: 100, Home: home}
+	big := &catalog.Relation{Name: "b", Cardinality: 10_000, TupleBytes: 100, Home: home}
+	q := &querygen.Query{
+		Name:      "fb",
+		Relations: []*catalog.Relation{small, big},
+		Edges:     []querygen.Edge{{A: 0, B: 1, Selectivity: 0.001}},
+	}
+	// Force the build on the BIG side, against the auto heuristic.
+	jt := &JoinNode{Left: &JoinNode{Rel: big}, Right: &JoinNode{Rel: small}, Selectivity: 0.001, Build: BuildLeft}
+	pt := Expand("fb", q, jt, home)
+	for _, op := range pt.Ops {
+		if op.Kind == Build && op.InCard != 10_000 {
+			t.Fatalf("forced build side ignored: build input %d", op.InCard)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if LeftDeep.String() != "left-deep" || RightDeep.String() != "right-deep" || Zigzag.String() != "zigzag" {
+		t.Error("bad shape names")
+	}
+}
+
+func TestDeepTreeCardsMonotoneAgainstEstimate(t *testing.T) {
+	q := shapeQuery(5, 5)
+	jt, err := DeepTree(q, RightDeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Card <= 0 {
+		t.Fatalf("root card %d", jt.Card)
+	}
+}

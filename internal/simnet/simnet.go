@@ -1,0 +1,129 @@
+// Package simnet models the interconnection network of the hierarchical
+// system with the parameters of §5.1.1 of the paper: infinite bandwidth, a
+// fixed end-to-end transmission delay, and a per-8KB CPU cost on both the
+// sending and the receiving side.
+//
+// The CPU costs are returned as instruction counts so that the caller (a
+// simulated thread or scheduler) charges them to the right processor; the
+// network itself only delays delivery and keeps traffic statistics.
+package simnet
+
+import (
+	"fmt"
+
+	"hierdb/internal/simtime"
+)
+
+// Params are the network parameters. The defaults mirror the paper's table.
+type Params struct {
+	// Delay is the end-to-end transmission delay (paper: 0.5 ms).
+	Delay simtime.Duration
+	// SendInstrPer8KB is the CPU cost, in instructions, of sending 8 KB
+	// (paper: 10000).
+	SendInstrPer8KB int64
+	// RecvInstrPer8KB is the CPU cost, in instructions, of receiving 8 KB
+	// (paper: 10000).
+	RecvInstrPer8KB int64
+}
+
+// DefaultParams returns the paper's network parameter table.
+func DefaultParams() Params {
+	return Params{
+		Delay:           simtime.Millisecond / 2,
+		SendInstrPer8KB: 10000,
+		RecvInstrPer8KB: 10000,
+	}
+}
+
+// Class labels traffic so experiments can separate ordinary pipeline
+// redistribution from load-balancing transfers (§5.3 measures only the
+// latter) and control messages.
+type Class int
+
+const (
+	// Pipeline is tuple redistribution between pipelined operators.
+	Pipeline Class = iota
+	// Control is protocol traffic (end-of-operator detection, starving
+	// messages, credits).
+	Control
+	// Balance is load-sharing payload: stolen activations and shipped
+	// hash-table buckets.
+	Balance
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Pipeline:
+		return "pipeline"
+	case Control:
+		return "control"
+	case Balance:
+		return "balance"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Traffic accumulates message and byte counts for one class.
+type Traffic struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network delivers messages between SM-nodes with the configured delay.
+type Network struct {
+	k       *simtime.Kernel
+	params  Params
+	traffic [numClasses]Traffic
+}
+
+// New returns a network attached to k.
+func New(k *simtime.Kernel, p Params) *Network {
+	return &Network{k: k, params: p}
+}
+
+// Params returns the configured parameters.
+func (n *Network) Params() Params { return n.params }
+
+// SendInstr returns the CPU instructions the sender must charge for a
+// message of the given size. Cost scales with ceil(bytes/8KB), with a
+// minimum of one unit, matching the per-8KB accounting of the paper.
+func (n *Network) SendInstr(bytes int64) int64 {
+	return n.params.SendInstrPer8KB * chunks8K(bytes)
+}
+
+// RecvInstr returns the CPU instructions the receiver must charge.
+func (n *Network) RecvInstr(bytes int64) int64 {
+	return n.params.RecvInstrPer8KB * chunks8K(bytes)
+}
+
+func chunks8K(bytes int64) int64 {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + 8191) / 8192
+}
+
+// Send records a message of the given class and size and schedules deliver
+// to run after the end-to-end delay. The caller is responsible for charging
+// SendInstr to the sending processor before calling Send and RecvInstr to
+// the receiving processor inside deliver.
+func (n *Network) Send(class Class, bytes int64, deliver func()) {
+	n.traffic[class].Messages++
+	n.traffic[class].Bytes += bytes
+	n.k.After(n.params.Delay, deliver)
+}
+
+// TrafficFor returns the accumulated traffic for a class.
+func (n *Network) TrafficFor(c Class) Traffic { return n.traffic[c] }
+
+// TotalTraffic returns the sum over all classes.
+func (n *Network) TotalTraffic() Traffic {
+	var t Traffic
+	for _, c := range n.traffic {
+		t.Messages += c.Messages
+		t.Bytes += c.Bytes
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"testing"
+
+	"hierdb/internal/simtime"
+)
+
+func TestDefaultParamsMatchPaperTable(t *testing.T) {
+	p := DefaultParams()
+	if p.Delay != simtime.Millisecond/2 {
+		t.Errorf("Delay = %v, want 0.5ms", p.Delay)
+	}
+	if p.SendInstrPer8KB != 10000 || p.RecvInstrPer8KB != 10000 {
+		t.Errorf("CPU costs = %d/%d, want 10000/10000", p.SendInstrPer8KB, p.RecvInstrPer8KB)
+	}
+}
+
+func TestDeliveryDelay(t *testing.T) {
+	k := simtime.NewKernel()
+	n := New(k, DefaultParams())
+	var deliveredAt simtime.Time
+	k.After(simtime.Second, func() {
+		n.Send(Pipeline, 100, func() { deliveredAt = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := simtime.Second + simtime.Millisecond/2
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestCPUCostScalesWith8KChunks(t *testing.T) {
+	n := New(simtime.NewKernel(), DefaultParams())
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 10000},
+		{1, 10000},
+		{8192, 10000},
+		{8193, 20000},
+		{3 * 8192, 30000},
+	}
+	for _, c := range cases {
+		if got := n.SendInstr(c.bytes); got != c.want {
+			t.Errorf("SendInstr(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+		if got := n.RecvInstr(c.bytes); got != c.want {
+			t.Errorf("RecvInstr(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	k := simtime.NewKernel()
+	n := New(k, DefaultParams())
+	n.Send(Pipeline, 1000, func() {})
+	n.Send(Pipeline, 2000, func() {})
+	n.Send(Balance, 500, func() {})
+	n.Send(Control, 64, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr := n.TrafficFor(Pipeline); tr.Messages != 2 || tr.Bytes != 3000 {
+		t.Errorf("pipeline traffic = %+v", tr)
+	}
+	if tr := n.TrafficFor(Balance); tr.Messages != 1 || tr.Bytes != 500 {
+		t.Errorf("balance traffic = %+v", tr)
+	}
+	tot := n.TotalTraffic()
+	if tot.Messages != 4 || tot.Bytes != 3564 {
+		t.Errorf("total = %+v", tot)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Pipeline.String() != "pipeline" || Control.String() != "control" || Balance.String() != "balance" {
+		t.Error("bad class names")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class empty")
+	}
+}
+
+func TestMessagesPreserveOrderPerDelay(t *testing.T) {
+	k := simtime.NewKernel()
+	n := New(k, DefaultParams())
+	var order []int
+	n.Send(Control, 1, func() { order = append(order, 1) })
+	n.Send(Control, 1, func() { order = append(order, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,92 @@
+package simtime
+
+import "testing"
+
+func TestAtPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestSignalWithoutWaitersIsNoop(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond("x")
+	c.Signal()
+	c.Broadcast()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayZeroYields(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Spawn("p", func(p *Proc) {
+		k.After(0, func() { order = append(order, 1) })
+		p.Delay(0)
+		order = append(order, 2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v (Delay(0) must let queued events run)", order)
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel mismatch")
+		}
+		p.Delay(Second)
+		if p.Now() != Second || k.Now() != Second {
+			t.Error("Now mismatch")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeStringUnits(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{500, "500ns"},
+		{2500, "2.5us"},
+		{Millisecond / 2, "500us"},
+		{17 * Millisecond, "17ms"},
+		{1500 * Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package simtime implements the discrete-event simulation kernel on which
+// the whole reproduction runs.
+//
+// The paper implemented its execution model on real KSR1 threads and
+// simulated operator work, disks and the network (§5.1). This package plays
+// the role of the KSR1: each simulated processor-thread is a goroutine, but
+// goroutines never run concurrently — the kernel resumes exactly one process
+// at a time and advances a virtual clock, so all simulated shared state is
+// race-free by construction and every run is bit-for-bit deterministic.
+//
+// Processes express the passage of simulated time with Proc.Delay (e.g. CPU
+// instructions being executed) and coordination with Cond (e.g. waiting for
+// an activation queue to drain). Timed callbacks (After/At) model message
+// deliveries and I/O completions.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// Duration aliases Time for readability when a length of time is meant.
+type Duration = Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch abs := max64(t, -t); {
+	case abs == 0:
+		return "0s"
+	case abs < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	case abs < Second:
+		return fmt.Sprintf("%.3gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+func max64(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+	live   int
+	ran    bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// After schedules fn to run in kernel context after d has elapsed.
+// It panics if d is negative.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	k.at(k.now+d, fn)
+}
+
+// At schedules fn to run in kernel context at absolute time t, which must
+// not be in the past.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic("simtime: event scheduled in the past")
+	}
+	k.at(t, fn)
+}
+
+func (k *Kernel) at(t Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Proc is a simulated sequential process (one per simulated processor-thread
+// in the reproduction). All Proc methods must be called from the process's
+// own body function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	// waiting marks a proc parked on a Cond (used for deadlock reporting).
+	waiting string
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process that will start executing body at the current
+// virtual time (once Run is processing events). Spawn may be called before
+// Run or from within kernel context while running.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		k.live--
+		p.yield <- struct{}{}
+	}()
+	k.After(0, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it parks or terminates. Must run in
+// kernel context.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the calling process, returning control to the kernel. The
+// process resumes when some event dispatches it again.
+func (p *Proc) park(why string) {
+	p.waiting = why
+	p.yield <- struct{}{}
+	<-p.resume
+	p.waiting = ""
+}
+
+// Delay advances virtual time by d for the calling process, modelling d of
+// sequential work. It panics on negative d. Delay(0) yields the processor,
+// allowing same-time events to run.
+func (p *Proc) Delay(d Duration) {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	k := p.k
+	k.After(d, func() { k.dispatch(p) })
+	p.park("delay")
+}
+
+// Run processes events until none remain. It returns an error if live
+// processes are still parked when the event heap drains (a simulated
+// deadlock), naming the stuck processes.
+func (k *Kernel) Run() error {
+	if k.ran {
+		return fmt.Errorf("simtime: kernel already ran")
+	}
+	k.ran = true
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.at < k.now {
+			panic("simtime: time went backwards")
+		}
+		k.now = e.at
+		e.fn()
+	}
+	if k.live > 0 {
+		var stuck []string
+		for _, p := range k.procs {
+			if !p.done {
+				stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.waiting))
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("simtime: deadlock at %v: %d live process(es) parked: %v", k.now, k.live, stuck)
+	}
+	return nil
+}
+
+// Cond is a virtual-time condition variable. The zero value is not usable;
+// create with NewCond. All methods must be called in kernel context (from a
+// process body or a timed callback).
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable attached to k. The name appears in
+// deadlock reports.
+func (k *Kernel) NewCond(name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait parks p until another event calls Signal or Broadcast. As with
+// sync.Cond, callers re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+}
+
+// Signal wakes the longest-waiting process, if any. The wakeup is delivered
+// as a zero-delay event, preserving deterministic ordering.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.After(0, func() { c.k.dispatch(p) })
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p := p
+		c.k.After(0, func() { c.k.dispatch(p) })
+	}
+}
+
+// Waiting reports how many processes are parked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }

@@ -1,0 +1,183 @@
+// Package xrand provides a small, deterministic random-number generator and
+// the Zipf distribution used throughout the reproduction.
+//
+// The experiments in the paper average over randomly generated queries and
+// skewed data placements. Reproducibility requires that every random draw be
+// a pure function of an explicit seed, independent of map iteration order,
+// scheduling, or the host; math/rand would be adequate, but a local
+// SplitMix64 keeps the sequence stable across Go releases and lets us derive
+// independent substreams cheaply.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator (SplitMix64 core).
+// The zero value is a valid generator seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives an independent substream. Streams derived with different
+// labels (or from different parents) are statistically independent for our
+// purposes.
+func (r *Rand) Split(label uint64) *Rand {
+	return New(r.Uint64() ^ (label*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Int64Range returns a uniform int64 in [lo, hi] inclusive.
+func (r *Rand) Int64Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("xrand: Int64Range with hi < lo")
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// Perm returns a random permutation of [0, n), as in rand.Perm.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf describes a Zipf distribution over n ranks with parameter theta in
+// [0, 1], following the formulation the paper cites (Zipf49): the weight of
+// rank i (1-based) is proportional to 1/i^theta. theta = 0 yields the uniform
+// distribution, theta = 1 the classic highly skewed Zipf.
+type Zipf struct {
+	n      int
+	theta  float64
+	cdf    []float64 // cumulative probabilities, cdf[n-1] == 1
+	shares []float64 // individual probabilities
+}
+
+// NewZipf builds the distribution over n ranks. It panics if n <= 0 or
+// theta < 0.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if theta < 0 {
+		panic("xrand: NewZipf with negative theta")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.shares = make([]float64, n)
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), theta)
+		z.shares[i] = w
+		sum += w
+	}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		z.shares[i] /= sum
+		acc += z.shares[i]
+		z.cdf[i] = acc
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Share returns the probability mass of rank i (0-based).
+func (z *Zipf) Share(i int) float64 { return z.shares[i] }
+
+// Draw samples a rank in [0, n) using r.
+func (z *Zipf) Draw(r *Rand) int {
+	u := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Apportion splits total units across the n ranks proportionally to the
+// Zipf shares, using largest-remainder rounding so that the parts sum to
+// total exactly. Rank order is preserved (rank 0 is the heaviest).
+func (z *Zipf) Apportion(total int64) []int64 {
+	parts := make([]int64, z.n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, z.n)
+	var assigned int64
+	for i := 0; i < z.n; i++ {
+		exact := float64(total) * z.shares[i]
+		fl := math.Floor(exact)
+		parts[i] = int64(fl)
+		assigned += parts[i]
+		rems[i] = rem{idx: i, frac: exact - fl}
+	}
+	// Distribute the leftover to the largest remainders; stable order for
+	// determinism (sort by frac desc, then index asc).
+	left := total - assigned
+	for left > 0 {
+		best := -1
+		for i := range rems {
+			if best == -1 || rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		parts[rems[best].idx]++
+		rems[best].frac = -1
+		left--
+	}
+	return parts
+}

@@ -1,0 +1,198 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("split substreams with different labels coincide")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(0).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRangeQuick(t *testing.T) {
+	f := func(seed uint64, a, b uint32) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		v := New(seed).Range(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RangeQuick(t *testing.T) {
+	f := func(seed uint64, a int32, span uint16) bool {
+		lo := int64(a)
+		hi := lo + int64(span)
+		v := New(seed).Int64Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for n := 1; n <= 50; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Share(i)-0.1) > 1e-12 {
+			t.Fatalf("theta=0 share %d = %v, want 0.1", i, z.Share(i))
+		}
+	}
+}
+
+func TestZipfMonotoneShares(t *testing.T) {
+	z := NewZipf(100, 0.8)
+	for i := 1; i < 100; i++ {
+		if z.Share(i) > z.Share(i-1)+1e-15 {
+			t.Fatalf("shares not monotone at %d: %v > %v", i, z.Share(i), z.Share(i-1))
+		}
+	}
+}
+
+func TestZipfSharesSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.2, 0.5, 0.8, 1.0} {
+		z := NewZipf(37, theta)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Share(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("theta=%v shares sum to %v", theta, sum)
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	z := NewZipf(23, 0.9)
+	r := New(5)
+	counts := make([]int, 23)
+	for i := 0; i < 20000; i++ {
+		v := z.Draw(r)
+		if v < 0 || v >= 23 {
+			t.Fatalf("Draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be clearly hottest under theta=0.9.
+	if counts[0] <= counts[22] {
+		t.Fatalf("Zipf draw not skewed: first=%d last=%d", counts[0], counts[22])
+	}
+}
+
+func TestZipfApportionSums(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, totRaw uint32) bool {
+		n := int(nRaw%64) + 1
+		total := int64(totRaw % 1000000)
+		z := NewZipf(n, 0.7)
+		parts := z.Apportion(total)
+		var sum int64
+		for _, p := range parts {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfApportionHeaviestFirst(t *testing.T) {
+	z := NewZipf(8, 1.0)
+	parts := z.Apportion(100000)
+	for i := 1; i < len(parts); i++ {
+		if parts[i] > parts[i-1] {
+			t.Fatalf("apportion not monotone: %v", parts)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 0.5) },
+		func() { NewZipf(5, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
