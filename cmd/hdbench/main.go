@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	hdbench [-fig all|6|7|8|9|10|transfer|params] [-scale bench|paper] [-v]
+//	hdbench [-fig all|6|7|8|9|10|transfer|params] [-scale bench|paper]
+//	        [-parallel N] [-v]
 //
 // -scale paper reproduces §5 at full magnitude (20 queries x 2 bushy trees
 // over 12 relations, 30-60 virtual-minute sequential gate) and takes a
 // while; -scale bench (default) keeps every experiment's shape in seconds.
+//
+// Independent simulation runs fan out across all processors by default;
+// -parallel bounds the worker pool. Figure output is bit-for-bit identical
+// at any parallelism level.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	fig := flag.String("fig", "all", "which artifact to regenerate: all, 6, 7, 8, 9, 10, transfer, params, or the extensions ext|shapes|placement|chains")
 	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
 	queries := flag.Int("queries", 0, "override the scale's query count (0 = scale default); smaller counts trade averaging breadth for speed")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent simulation runs (0 = all processors); output is identical at any setting")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
 
@@ -39,6 +45,10 @@ func main() {
 	if *queries > 0 {
 		scale.Queries = *queries
 	}
+	if *parallel < 0 {
+		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
+	}
+	scale.Parallelism = *parallel
 
 	var prog hierdb.Progress
 	if *verbose {

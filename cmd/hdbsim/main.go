@@ -1,30 +1,37 @@
-// hdbsim executes one plan of the generated workload under one strategy
-// on one topology and prints the full measurement record — the tool for
+// hdbsim executes plans of the generated workload under one strategy on
+// one topology and prints the full measurement record — the tool for
 // poking at individual executions.
 //
 // Usage:
 //
-//	hdbsim [-scale bench|paper] [-plan i] [-strategy DP|FP|SP]
+//	hdbsim [-scale bench|paper] [-plan i|all] [-strategy DP|FP|SP]
 //	       [-nodes N] [-procs P] [-skew z] [-errrate r] [-chain ops]
+//	       [-parallel N]
+//
+// -plan all executes every plan of the workload; independent runs fan out
+// across all processors by default (-parallel bounds the pool), and the
+// records print in plan order regardless of completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 
 	"hierdb"
 )
 
 func main() {
 	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
-	planIdx := flag.Int("plan", 0, "plan index in the generated workload")
+	planSel := flag.String("plan", "0", "plan index in the generated workload, or \"all\"")
 	strategy := flag.String("strategy", "DP", "DP, FP or SP")
 	nodes := flag.Int("nodes", 1, "SM-nodes")
 	procs := flag.Int("procs", 8, "processors per SM-node")
 	skew := flag.Float64("skew", 0, "redistribution skew (Zipf factor)")
 	errRate := flag.Float64("errrate", 0, "FP cost-model error rate (e.g. 0.2)")
 	chain := flag.Int("chain", 0, "if > 0, run the §5.3 chain micro-benchmark with this many operators instead of a workload plan")
+	parallel := flag.Int("parallel", 0, "worker pool size for -plan all (0 = all processors)")
 	flag.Parse()
 
 	var scale hierdb.Scale
@@ -36,36 +43,66 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
+	if *parallel < 0 {
+		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
+	}
+	scale.Parallelism = *parallel
 
-	var tree *hierdb.Plan
+	var trees []*hierdb.Plan
 	if *chain > 0 {
-		tree = hierdb.ChainPlan(*chain, *nodes, scale.CardDivisor)
+		trees = []*hierdb.Plan{hierdb.ChainPlan(*chain, *nodes, scale.CardDivisor)}
 	} else {
 		w := hierdb.GenerateWorkload(scale, *nodes)
-		if *planIdx < 0 || *planIdx >= len(w.Plans) {
-			log.Fatalf("plan %d out of range (%d plans)", *planIdx, len(w.Plans))
+		if *planSel == "all" {
+			trees = w.Plans
+		} else {
+			idx, err := strconv.Atoi(*planSel)
+			if err != nil {
+				log.Fatalf("bad -plan %q: want an index or \"all\"", *planSel)
+			}
+			if idx < 0 || idx >= len(w.Plans) {
+				log.Fatalf("plan %d out of range (%d plans)", idx, len(w.Plans))
+			}
+			trees = []*hierdb.Plan{w.Plans[idx]}
 		}
-		tree = w.Plans[*planIdx]
 	}
 	cfg := hierdb.DefaultConfig(*nodes, *procs)
 	mutate := func(o *hierdb.SimOptions) { o.RedistributionSkew = *skew }
 
-	var run *hierdb.Run
-	var err error
-	switch *strategy {
-	case "DP":
-		run, err = hierdb.ExecuteDP(tree, cfg, mutate)
-	case "FP":
-		run, err = hierdb.ExecuteFP(tree, cfg, *errRate, 1, mutate)
-	case "SP":
-		run, err = hierdb.ExecuteSP(tree, cfg)
-	default:
+	execute := func(tree *hierdb.Plan) (*hierdb.Run, error) {
+		switch *strategy {
+		case "DP":
+			return hierdb.ExecuteDP(tree, cfg, mutate)
+		case "FP":
+			return hierdb.ExecuteFP(tree, cfg, *errRate, 1, mutate)
+		case "SP":
+			return hierdb.ExecuteSP(tree, cfg)
+		}
 		log.Fatalf("unknown strategy %q", *strategy)
-	}
-	if err != nil {
-		log.Fatal(err)
+		return nil, nil
 	}
 
+	// Fan the independent runs across the experiments' bounded pool;
+	// results collect into a plan-indexed slice so output order never
+	// depends on scheduling.
+	runs := make([]*hierdb.Run, len(trees))
+	errs := make([]error, len(trees))
+	hierdb.RunMatrix(scale.Parallelism, len(trees), func(i int) {
+		runs[i], errs[i] = execute(trees[i])
+	})
+
+	for i, run := range runs {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printRun(run)
+	}
+}
+
+func printRun(run *hierdb.Run) {
 	fmt.Printf("plan      %s\n", run.Plan)
 	fmt.Printf("strategy  %s on %s\n", run.Strategy, run.Config)
 	fmt.Printf("response  %v\n", run.ResponseTime)

@@ -1,0 +1,3 @@
+module hierdb
+
+go 1.24

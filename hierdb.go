@@ -21,6 +21,7 @@ package hierdb
 
 import (
 	"context"
+	"runtime"
 
 	"hierdb/internal/baseline"
 	"hierdb/internal/cluster"
@@ -55,7 +56,10 @@ type Run = metrics.Run
 // fragmentation, flow control, skew, global load balancing, ablations).
 type SimOptions = core.Options
 
-// Scale selects experiment magnitude.
+// Scale selects experiment magnitude. Its Parallelism field bounds the
+// worker pool the figure drivers fan their independent simulation runs
+// across (0 = one worker per available processor); figure output is
+// bit-for-bit identical at any setting.
 type Scale = experiments.Scale
 
 // Workload is a generated plan set.
@@ -64,7 +68,9 @@ type Workload = experiments.Workload
 // Figure is a regenerated table or figure.
 type Figure = experiments.Figure
 
-// Progress receives progress lines from long experiment drivers.
+// Progress receives progress lines from long experiment drivers. Lines
+// are serialized (the callback is never invoked concurrently) and carry
+// an aggregated [completed/total] prefix.
 type Progress = experiments.Progress
 
 // PaperScale returns the full §5 experiment configuration (20 queries x 2
@@ -86,6 +92,19 @@ func DefaultSchedule() PlanSchedule { return plan.DefaultSchedule() }
 // chains concurrently — the [Wilshut95]-style strategy §3.2 discusses as a
 // way to give load balancing more concurrent operators.
 func FullParallelSchedule() PlanSchedule { return PlanSchedule{} }
+
+// RunMatrix executes jobs 0..n-1 on a bounded worker pool — the driver
+// behind the figure regenerators, exposed for callers fanning out their
+// own independent simulation runs. do(i) must write its result only to
+// storage addressed by i; jobs may complete in any order, and a panicking
+// job is re-raised deterministically (lowest index wins) after the pool
+// drains. workers <= 0 means one worker per available processor.
+func RunMatrix(workers, n int, do func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	experiments.RunMatrix(workers, n, do)
+}
 
 // GenerateWorkload builds the §5.1.2 plan set for a topology of the given
 // number of SM-nodes, deterministically in (scale.Seed, nodes).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"hierdb/internal/catalog"
@@ -34,6 +35,27 @@ func smallQuery(seed uint64, rels, nodes int) *querygen.Query {
 		q.Edges[i].Selectivity *= 10
 	}
 	return q
+}
+
+// chainPlanForDebug mirrors experiments.ChainPlan without the import: a
+// single pipeline chain of ops operators (one scan plus ops-1 probes) with
+// cardinalities divided by div.
+func chainPlanForDebug(ops, nodes int, div int64) *plan.Tree {
+	home := catalog.AllNodes(nodes)
+	big := &catalog.Relation{Name: "DRIVER", Cardinality: 1_000_000 / div, TupleBytes: 100, Home: home}
+	rels := []*catalog.Relation{big}
+	var edges []querygen.Edge
+	for i := 0; i < ops-1; i++ {
+		small := &catalog.Relation{Name: fmt.Sprintf("DIM%d", i+1), Cardinality: 20_000 / div, TupleBytes: 100, Home: home}
+		rels = append(rels, small)
+		edges = append(edges, querygen.Edge{A: 0, B: i + 1, Selectivity: 1 / float64(small.Cardinality)})
+	}
+	q := &querygen.Query{Name: "chain", Relations: rels, Edges: edges}
+	node := &plan.JoinNode{Rel: big}
+	for i := 0; i < ops-1; i++ {
+		node = &plan.JoinNode{Left: node, Right: &plan.JoinNode{Rel: rels[i+1]}, Selectivity: edges[i].Selectivity}
+	}
+	return plan.Expand("chain", q, node, home)
 }
 
 func smallPlan(t *testing.T, seed uint64, rels, nodes int) *plan.Tree {

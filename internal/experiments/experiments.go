@@ -42,6 +42,13 @@ type Scale struct {
 	GateAttempts   int
 	Seed           uint64
 
+	// Parallelism bounds the worker pool the figure drivers fan their
+	// independent simulation runs across; 0 means one worker per
+	// available processor (runtime.GOMAXPROCS). Figure output is
+	// bit-for-bit identical at any setting: run seeds derive from grid
+	// coordinates and results are aggregated in grid order.
+	Parallelism int
+
 	// Per-figure sweeps.
 	Fig6Procs  []int
 	Fig7Procs  []int
@@ -237,11 +244,8 @@ func scaleQuery(q *querygen.Query, div int64) {
 	}
 }
 
-// Progress receives one line per completed run; nil discards.
+// Progress receives one line per completed run; nil discards. Under the
+// parallel run-matrix driver, lines are serialized and prefixed with an
+// aggregated [completed/total] count; their order follows run completion,
+// not grid order (the figure itself is unaffected — see matrix.go).
 type Progress func(format string, args ...interface{})
-
-func progress(p Progress, format string, args ...interface{}) {
-	if p != nil {
-		p(format, args...)
-	}
-}

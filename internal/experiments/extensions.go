@@ -29,24 +29,49 @@ func Shapes(s Scale, prog Progress) *Figure {
 	gp := querygen.Params{Relations: s.Relations, Nodes: 1, ClassWeights: s.ClassWeights}
 
 	shapes := []plan.Shape{plan.LeftDeep, plan.RightDeep, plan.Zigzag}
-	sums := make([]float64, len(shapes))
-	n := 0
+
+	// Query generation consumes a single rng stream, so it stays
+	// sequential; only the simulations fan out.
+	type variant struct {
+		bushy *plan.Tree
+		deep  []*plan.Tree
+	}
+	variants := make([]variant, s.Queries)
 	for qi := 0; qi < s.Queries; qi++ {
 		q := querygen.Generate(rng, fmt.Sprintf("S%02d", qi+1), gp)
 		scaleQuery(q, s.CardDivisor)
-		bushy := opt.Plans(q, 1, home)[0]
-		ref := mustDP(bushy, cfg, nil)
-		for si, shape := range shapes {
+		v := variant{bushy: opt.Plans(q, 1, home)[0]}
+		for _, shape := range shapes {
 			jt, err := plan.DeepTree(q, shape)
 			if err != nil {
 				panic(err)
 			}
-			pt := plan.Expand(fmt.Sprintf("%s.%v", q.Name, shape), q, jt, home)
-			r := mustDP(pt, cfg, nil)
-			sums[si] += r.Relative(ref)
-			progress(prog, "shapes q=%d %v rel=%.3f", qi+1, shape, r.Relative(ref))
+			v.deep = append(v.deep, plan.Expand(fmt.Sprintf("%s.%v", q.Name, shape), q, jt, home))
 		}
-		n++
+		variants[qi] = v
+	}
+
+	// Grid: one cell per query; each cell runs the bushy reference and
+	// the three deep shapes of that query.
+	rels := make([][]float64, s.Queries)
+	tr := newTracker(prog, s.Queries)
+	RunMatrix(s.workers(), s.Queries, func(qi int) {
+		v := variants[qi]
+		ref := mustDP(v.bushy, cfg, nil)
+		row := make([]float64, len(shapes))
+		for si, pt := range v.deep {
+			r := mustDP(pt, cfg, nil)
+			row[si] = r.Relative(ref)
+		}
+		rels[qi] = row
+		tr.step("shapes q=%d/%d bushy rt=%v", qi+1, s.Queries, ref.ResponseTime)
+	})
+
+	sums := make([]float64, len(shapes))
+	for qi := range rels {
+		for si := range shapes {
+			sums[si] += rels[qi][si]
+		}
 	}
 	fig := &Figure{
 		ID:     "shapes",
@@ -57,7 +82,7 @@ func Shapes(s Scale, prog Progress) *Figure {
 	var xs, ys []float64
 	for si := range shapes {
 		xs = append(xs, float64(si))
-		ys = append(ys, sums[si]/float64(n))
+		ys = append(ys, sums[si]/float64(s.Queries))
 	}
 	fig.Series = []Series{{Label: "DP", X: xs, Y: ys}}
 	fig.Notes = append(fig.Notes,
@@ -82,20 +107,31 @@ func PlacementSkew(s Scale, prog Progress) *Figure {
 		XLabel: "placement skew (Zipf)",
 		YLabel: "avg response time / no-skew response time",
 	}
+	// The skew factor lives on catalog.Relation objects shared by every
+	// plan of a query, so factors run one after another: set the factor
+	// on all relations, then fan the plans out (concurrent runs only
+	// read it), then move to the next factor.
 	base := make([]float64, len(w.Plans))
+	tr := newTracker(prog, len(factors)*len(w.Plans))
 	var xs, ys []float64
 	for fi, f := range factors {
-		var sum float64
-		for pi, tree := range w.Plans {
+		for _, tree := range w.Plans {
 			for _, rel := range tree.Query.Relations {
 				rel.PlacementSkew = f
 			}
-			r := mustDP(tree, cfg, nil)
+		}
+		rts := make([]float64, len(w.Plans))
+		RunMatrix(s.workers(), len(w.Plans), func(pi int) {
+			r := mustDP(w.Plans[pi], cfg, nil)
+			rts[pi] = float64(r.ResponseTime)
+			tr.step("placement f=%.1f plan=%d/%d rt=%v", f, pi+1, len(w.Plans), r.ResponseTime)
+		})
+		var sum float64
+		for pi := range rts {
 			if fi == 0 {
-				base[pi] = float64(r.ResponseTime)
+				base[pi] = rts[pi]
 			}
-			sum += float64(r.ResponseTime) / base[pi]
-			progress(prog, "placement f=%.1f plan=%d/%d rt=%v", f, pi+1, len(w.Plans), r.ResponseTime)
+			sum += rts[pi] / base[pi]
 		}
 		xs = append(xs, f)
 		ys = append(ys, sum/float64(len(w.Plans)))
@@ -119,12 +155,18 @@ func ConcurrentChains(s Scale, prog Progress) *Figure {
 	cfg := cluster.DefaultConfig(1, procs)
 	seq := BuildWorkload(s, 1)
 	par := BuildWorkloadSchedule(s, 1, plan.Schedule{})
-	var sum float64
-	for pi := range seq.Plans {
+	// Grid: one cell per plan; each cell runs both schedules.
+	rels := make([]float64, len(seq.Plans))
+	tr := newTracker(prog, len(rels))
+	RunMatrix(s.workers(), len(rels), func(pi int) {
 		a := mustDP(seq.Plans[pi], cfg, nil)
 		b := mustDP(par.Plans[pi], cfg, func(o *core.Options) { o.QueueCapacity = 64 })
-		sum += b.Relative(a)
-		progress(prog, "chains plan=%d/%d seq=%v par=%v", pi+1, len(seq.Plans), a.ResponseTime, b.ResponseTime)
+		rels[pi] = b.Relative(a)
+		tr.step("chains plan=%d/%d seq=%v par=%v", pi+1, len(rels), a.ResponseTime, b.ResponseTime)
+	})
+	var sum float64
+	for _, r := range rels {
+		sum += r
 	}
 	avg := sum / float64(len(seq.Plans))
 	fig := &Figure{

@@ -1,6 +1,9 @@
 package experiments
 
 // Drivers for the shared-memory experiments (§5.2): Figures 6, 7, 8, 9.
+// Each driver enumerates its (plan, config, option) grid as independent
+// run specs and fans them across RunMatrix; see matrix.go for the
+// determinism contract.
 
 import (
 	"fmt"
@@ -36,6 +39,11 @@ func mustFP(tree *plan.Tree, cfg cluster.Config, rate float64, seed uint64, muta
 	return r
 }
 
+// fpDrawSeed derives the FP distortion seed for a draw index — a pure
+// function of the grid coordinate, so Fig7's draws are reproducible at any
+// parallelism level.
+func fpDrawSeed(draw int) uint64 { return uint64(draw+1) * 7919 }
+
 // Fig6 regenerates Figure 6: relative performance of SP, DP and FP on a
 // single SM-node for several processor counts, no skew, SP as reference.
 func Fig6(s Scale, prog Progress) *Figure {
@@ -46,23 +54,33 @@ func Fig6(s Scale, prog Progress) *Figure {
 		XLabel: "processors",
 		YLabel: "avg response time / SP response time",
 	}
-	var xs []float64
-	spY := make([]float64, 0, len(s.Fig6Procs))
-	dpY := make([]float64, 0, len(s.Fig6Procs))
-	fpY := make([]float64, 0, len(s.Fig6Procs))
-	for _, procs := range s.Fig6Procs {
+	// Grid: (processor count) x (plan); each cell runs SP, DP and FP on
+	// the same tree and records the two relatives against SP.
+	type cell struct{ dp, fp float64 }
+	np := len(w.Plans)
+	grid := make([]cell, len(s.Fig6Procs)*np)
+	tr := newTracker(prog, len(grid))
+	RunMatrix(s.workers(), len(grid), func(i int) {
+		ci, pi := i/np, i%np
+		procs := s.Fig6Procs[ci]
 		cfg := cluster.DefaultConfig(1, procs)
+		tree := w.Plans[pi]
+		sp := mustSP(tree, cfg)
+		dp := mustDP(tree, cfg, nil)
+		fp := mustFP(tree, cfg, 0, 1, nil)
+		grid[i] = cell{dp: dp.Relative(sp), fp: fp.Relative(sp)}
+		tr.step("fig6 procs=%d plan=%d/%d sp=%v dp=%v fp=%v",
+			procs, pi+1, np, sp.ResponseTime, dp.ResponseTime, fp.ResponseTime)
+	})
+	var xs, spY, dpY, fpY []float64
+	for ci, procs := range s.Fig6Procs {
 		var dpSum, fpSum float64
-		for pi, tree := range w.Plans {
-			sp := mustSP(tree, cfg)
-			dp := mustDP(tree, cfg, nil)
-			fp := mustFP(tree, cfg, 0, 1, nil)
-			dpSum += dp.Relative(sp)
-			fpSum += fp.Relative(sp)
-			progress(prog, "fig6 procs=%d plan=%d/%d sp=%v dp=%v fp=%v",
-				procs, pi+1, len(w.Plans), sp.ResponseTime, dp.ResponseTime, fp.ResponseTime)
+		for pi := 0; pi < np; pi++ {
+			c := grid[ci*np+pi]
+			dpSum += c.dp
+			fpSum += c.fp
 		}
-		n := float64(len(w.Plans))
+		n := float64(np)
 		xs = append(xs, float64(procs))
 		spY = append(spY, 1)
 		dpY = append(dpY, dpSum/n)
@@ -94,23 +112,39 @@ func Fig7(s Scale, prog Progress) *Figure {
 		XLabel: "error rate",
 		YLabel: "avg FP response time / SP response time",
 	}
-	for _, procs := range s.Fig7Procs {
+	// Grid: (processor count) x (plan); each cell runs the SP reference
+	// once and every (rate, draw) distortion of FP against it, recording
+	// one draw-summed partial per rate. Distortion seeds depend only on
+	// the draw index (fpDrawSeed).
+	np, npl, nr := len(s.Fig7Procs), len(plans), len(s.Fig7Rates)
+	part := make([]float64, np*npl*nr)
+	tr := newTracker(prog, np*npl)
+	RunMatrix(s.workers(), np*npl, func(i int) {
+		ci, pi := i/npl, i%npl
+		procs := s.Fig7Procs[ci]
 		cfg := cluster.DefaultConfig(1, procs)
-		var xs, ys []float64
-		for _, rate := range s.Fig7Rates {
+		tree := plans[pi]
+		sp := mustSP(tree, cfg)
+		for ri, rate := range s.Fig7Rates {
 			var sum float64
-			n := 0
-			for pi, tree := range plans {
-				sp := mustSP(tree, cfg)
-				for d := 0; d < s.Fig7Draws; d++ {
-					fp := mustFP(tree, cfg, rate, uint64(d+1)*7919, nil)
-					sum += fp.Relative(sp)
-					n++
-				}
-				progress(prog, "fig7 procs=%d rate=%.0f%% plan=%d/%d", procs, rate*100, pi+1, len(plans))
+			for d := 0; d < s.Fig7Draws; d++ {
+				fp := mustFP(tree, cfg, rate, fpDrawSeed(d), nil)
+				sum += fp.Relative(sp)
+			}
+			part[(ci*npl+pi)*nr+ri] = sum
+		}
+		tr.step("fig7 procs=%d plan=%d/%d (%d rates x %d draws)",
+			procs, pi+1, npl, nr, s.Fig7Draws)
+	})
+	for ci, procs := range s.Fig7Procs {
+		var xs, ys []float64
+		for ri, rate := range s.Fig7Rates {
+			var sum float64
+			for pi := 0; pi < npl; pi++ {
+				sum += part[(ci*npl+pi)*nr+ri]
 			}
 			xs = append(xs, rate)
-			ys = append(ys, sum/float64(n))
+			ys = append(ys, sum/float64(npl*s.Fig7Draws))
 		}
 		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%d procs", procs), X: xs, Y: ys})
 	}
@@ -139,30 +173,37 @@ func Fig8(s Scale, prog Progress) *Figure {
 		{"DP", func(tr *plan.Tree, cfg cluster.Config) *metrics.Run { return mustDP(tr, cfg, nil) }},
 		{"FP", func(tr *plan.Tree, cfg cluster.Config) *metrics.Run { return mustFP(tr, cfg, 0, 1, nil) }},
 	}
-	for _, rn := range runners {
-		base := make([]*metrics.Run, len(w.Plans))
-		baseCfg := cluster.DefaultConfig(1, 1)
-		for pi, tree := range w.Plans {
-			base[pi] = rn.run(tree, baseCfg)
-			progress(prog, "fig8 %s base plan=%d/%d rt=%v", rn.label, pi+1, len(w.Plans), base[pi].ResponseTime)
+	// Grid: (strategy) x (plan); each cell runs the 1-processor base and
+	// then the whole processor sweep of that plan under that strategy.
+	np := len(w.Plans)
+	speedups := make([][]float64, len(runners)*np)
+	tr := newTracker(prog, len(speedups))
+	RunMatrix(s.workers(), len(speedups), func(i int) {
+		ri, pi := i/np, i%np
+		rn := runners[ri]
+		tree := w.Plans[pi]
+		base := rn.run(tree, cluster.DefaultConfig(1, 1))
+		row := make([]float64, len(s.Fig8Procs))
+		for ci, procs := range s.Fig8Procs {
+			r := base
+			if procs != 1 {
+				r = rn.run(tree, cluster.DefaultConfig(1, procs))
+			}
+			row[ci] = r.Speedup(base)
 		}
+		speedups[i] = row
+		tr.step("fig8 %s plan=%d/%d base rt=%v (%d processor counts)",
+			rn.label, pi+1, np, base.ResponseTime, len(s.Fig8Procs))
+	})
+	for ri, rn := range runners {
 		var xs, ys []float64
-		for _, procs := range s.Fig8Procs {
-			cfg := cluster.DefaultConfig(1, procs)
+		for ci, procs := range s.Fig8Procs {
 			var sum float64
-			for pi, tree := range w.Plans {
-				var r *metrics.Run
-				if procs == 1 {
-					r = base[pi]
-				} else {
-					r = rn.run(tree, cfg)
-				}
-				sum += r.Speedup(base[pi])
-				progress(prog, "fig8 %s procs=%d plan=%d/%d speedup=%.2f",
-					rn.label, procs, pi+1, len(w.Plans), r.Speedup(base[pi]))
+			for pi := 0; pi < np; pi++ {
+				sum += speedups[ri*np+pi][ci]
 			}
 			xs = append(xs, float64(procs))
-			ys = append(ys, sum/float64(len(w.Plans)))
+			ys = append(ys, sum/float64(np))
 		}
 		fig.Series = append(fig.Series, Series{Label: rn.label, X: xs, Y: ys})
 	}
@@ -183,23 +224,29 @@ func Fig9(s Scale, prog Progress) *Figure {
 		XLabel: "skew (Zipf)",
 		YLabel: "avg response time / no-skew response time",
 	}
-	base := make([]*metrics.Run, len(w.Plans))
-	for pi, tree := range w.Plans {
-		base[pi] = mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = 0 })
-	}
-	var xs, ys []float64
-	for _, skew := range s.Fig9Skews {
-		skew := skew
-		var sum float64
-		for pi, tree := range w.Plans {
-			var r *metrics.Run
-			if skew == 0 {
-				r = base[pi]
-			} else {
+	// Grid: one cell per plan; each cell runs the no-skew reference and
+	// the whole skew sweep of that plan.
+	ratios := make([][]float64, len(w.Plans))
+	tr := newTracker(prog, len(ratios))
+	RunMatrix(s.workers(), len(ratios), func(pi int) {
+		tree := w.Plans[pi]
+		base := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = 0 })
+		row := make([]float64, len(s.Fig9Skews))
+		for si, skew := range s.Fig9Skews {
+			r := base
+			if skew != 0 {
 				r = mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = skew })
 			}
-			sum += r.Relative(base[pi])
-			progress(prog, "fig9 skew=%.1f plan=%d/%d ratio=%.3f", skew, pi+1, len(w.Plans), r.Relative(base[pi]))
+			row[si] = r.Relative(base)
+		}
+		ratios[pi] = row
+		tr.step("fig9 plan=%d/%d base rt=%v (%d skews)", pi+1, len(w.Plans), base.ResponseTime, len(s.Fig9Skews))
+	})
+	var xs, ys []float64
+	for si, skew := range s.Fig9Skews {
+		var sum float64
+		for pi := range ratios {
+			sum += ratios[pi][si]
 		}
 		xs = append(xs, skew)
 		ys = append(ys, sum/float64(len(w.Plans)))

@@ -9,6 +9,7 @@ import (
 	"hierdb/internal/catalog"
 	"hierdb/internal/cluster"
 	"hierdb/internal/core"
+	"hierdb/internal/metrics"
 	"hierdb/internal/plan"
 	"hierdb/internal/querygen"
 	"hierdb/internal/simdisk"
@@ -92,10 +93,19 @@ func Transfer(s Scale, prog Progress) *Figure {
 	tree := ChainPlan(5, nodes, s.CardDivisor)
 	skew := 0.8
 
-	dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = skew })
-	progress(prog, "transfer dp rt=%v lbBytes=%d", dp.ResponseTime, dp.BalanceBytes)
-	fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = skew })
-	progress(prog, "transfer fp rt=%v lbBytes=%d", fp.ResponseTime, fp.BalanceBytes)
+	// Grid: one cell per strategy.
+	runs := make([]*metrics.Run, 2)
+	tr := newTracker(prog, len(runs))
+	RunMatrix(s.workers(), len(runs), func(i int) {
+		if i == 0 {
+			runs[0] = mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = skew })
+			tr.step("transfer dp rt=%v lbBytes=%d", runs[0].ResponseTime, runs[0].BalanceBytes)
+		} else {
+			runs[1] = mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = skew })
+			tr.step("transfer fp rt=%v lbBytes=%d", runs[1].ResponseTime, runs[1].BalanceBytes)
+		}
+	})
+	dp, fp := runs[0], runs[1]
 
 	fig := &Figure{
 		ID:     "transfer",
@@ -130,25 +140,47 @@ func Fig10(s Scale, prog Progress) *Figure {
 		XLabel: "procs per node",
 		YLabel: "avg response time / DP response time",
 	}
+	// The workload depends only on (scale, nodes), so it is shared by
+	// every processors-per-node sweep point.
+	w := BuildWorkload(s, s.Fig10Nodes)
+	// Grid: (processors per node) x (plan); each cell runs DP and FP on
+	// the same tree.
+	type cell struct {
+		rel            float64
+		dpIdle, fpIdle float64
+		dpLB, fpLB     float64
+	}
+	np := len(w.Plans)
+	grid := make([]cell, len(s.Fig10PPN)*np)
+	tr := newTracker(prog, len(grid))
+	RunMatrix(s.workers(), len(grid), func(i int) {
+		ci, pi := i/np, i%np
+		cfg := cluster.DefaultConfig(s.Fig10Nodes, s.Fig10PPN[ci])
+		tree := w.Plans[pi]
+		dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
+		fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
+		grid[i] = cell{
+			rel:    fp.Relative(dp),
+			dpIdle: dp.Idle.Seconds(), fpIdle: fp.Idle.Seconds(),
+			dpLB: float64(dp.BalanceBytes), fpLB: float64(fp.BalanceBytes),
+		}
+		tr.step("fig10 %s plan=%d/%d dp=%v fp=%v fp/dp=%.3f",
+			cfg, pi+1, np, dp.ResponseTime, fp.ResponseTime, fp.Relative(dp))
+	})
 	var xs, dpY, fpY []float64
 	var notes []string
-	for _, ppn := range s.Fig10PPN {
+	for ci, ppn := range s.Fig10PPN {
 		cfg := cluster.DefaultConfig(s.Fig10Nodes, ppn)
-		w := BuildWorkload(s, s.Fig10Nodes)
-		var fpSum float64
-		var dpIdle, fpIdle, dpLB, fpLB float64
-		for pi, tree := range w.Plans {
-			dp := mustDP(tree, cfg, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
-			fp := mustFP(tree, cfg, 0, 1, func(o *core.Options) { o.RedistributionSkew = s.Fig10Skew })
-			fpSum += fp.Relative(dp)
-			dpIdle += dp.Idle.Seconds()
-			fpIdle += fp.Idle.Seconds()
-			dpLB += float64(dp.BalanceBytes)
-			fpLB += float64(fp.BalanceBytes)
-			progress(prog, "fig10 %s plan=%d/%d dp=%v fp=%v fp/dp=%.3f",
-				cfg, pi+1, len(w.Plans), dp.ResponseTime, fp.ResponseTime, fp.Relative(dp))
+		var fpSum, dpIdle, fpIdle, dpLB, fpLB float64
+		for pi := 0; pi < np; pi++ {
+			c := grid[ci*np+pi]
+			fpSum += c.rel
+			dpIdle += c.dpIdle
+			fpIdle += c.fpIdle
+			dpLB += c.dpLB
+			fpLB += c.fpLB
 		}
-		n := float64(len(w.Plans))
+		n := float64(np)
 		xs = append(xs, float64(ppn))
 		dpY = append(dpY, 1)
 		fpY = append(fpY, fpSum/n)

@@ -1,0 +1,121 @@
+package experiments
+
+// The parallel run-matrix driver. Every figure of §5 is an embarrassingly
+// parallel grid of independent simulations: each cell builds its own
+// virtual-time kernel, cluster and engine, and is deterministic in its
+// inputs. RunMatrix fans those cells across a bounded worker pool while
+// keeping the figure output bit-for-bit identical at any parallelism
+// level:
+//
+//   - every run's RNG seed is a pure function of its grid coordinates
+//     (plan index, draw index, ...), never of worker identity or
+//     completion order;
+//   - results land in an index-addressed slice, one slot per cell, so
+//     aggregation always walks the grid in a fixed order regardless of
+//     which worker finished first.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the Scale's Parallelism knob: 0 (the default) uses one
+// worker per available processor.
+func (s Scale) workers() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunMatrix executes jobs 0..n-1 on a pool of the given number of workers.
+// do(i) must write its result only to storage addressed by i (or derived
+// grid coordinates); it must not depend on the progress of other jobs.
+// Jobs are claimed in index order but may complete in any order; RunMatrix
+// returns once every job has finished. A panic inside a job is captured
+// and re-raised from the caller's goroutine after the pool drains — when
+// several jobs panic, the lowest-indexed panic wins so the failure is
+// deterministic too.
+func RunMatrix(workers, n int, do func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed bool
+		fIdx   int
+		fVal   interface{}
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if !failed || i < fIdx {
+								failed, fIdx, fVal = true, i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					do(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed {
+		panic(fmt.Sprintf("experiments: run %d of matrix: %v", fIdx, fVal))
+	}
+}
+
+// tracker makes Progress reporting safe under RunMatrix: it serializes
+// concurrent progress lines and prefixes each with an aggregated
+// completed/total run count (the per-line counts a driver prints, like
+// plan=3/8, describe the cell's grid coordinates, not global progress).
+type tracker struct {
+	mu    sync.Mutex
+	p     Progress
+	done  int
+	total int
+}
+
+// newTracker wraps p for total expected runs; a nil p yields a tracker
+// whose step is a cheap no-op.
+func newTracker(p Progress, total int) *tracker {
+	return &tracker{p: p, total: total}
+}
+
+// step records one completed run and emits its progress line.
+func (t *tracker) step(format string, args ...interface{}) {
+	if t.p == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.p("[%d/%d] "+format, append([]interface{}{t.done, t.total}, args...)...)
+}
