@@ -7,6 +7,10 @@ package core
 // execution state lives in the struct so a thread can suspend one (output
 // queue full, disk page not ready) and pick other work, which is the
 // role procedure-call suspension plays in the paper.
+//
+// Activations are pooled on the Engine: completing one returns it to a
+// free list, so steady-state execution creates no garbage on the
+// activation path.
 
 import "hierdb/internal/simdisk"
 
@@ -40,9 +44,11 @@ type activation struct {
 	cpuCharged bool
 
 	// Emission state: output tuples not yet packed into a batch, and the
-	// batch currently awaiting queue space or network credit.
+	// batch currently awaiting queue space or network credit (valid while
+	// hasPending; stored by value so emission never allocates).
 	emitRemaining int64
-	pending       *batch
+	pending       batch
+	hasPending    bool
 
 	// recvInstr is CPU to charge to the dequeuing thread when the
 	// activation arrived over the network (§5.1.1 receive cost).
@@ -52,6 +58,27 @@ type activation struct {
 	srcNode int
 	// stolen marks activations acquired through global load balancing.
 	stolen bool
+}
+
+// newActivation takes an activation from the engine pool (or allocates on
+// first use). Fields are zeroed except srcNode, which defaults to -1
+// (produced locally).
+func (e *Engine) newActivation() *activation {
+	var a *activation
+	if n := len(e.actFree); n > 0 {
+		a = e.actFree[n-1]
+		e.actFree = e.actFree[:n-1]
+	} else {
+		a = &activation{}
+	}
+	a.srcNode = -1
+	return a
+}
+
+// freeActivation recycles a fully consumed activation into the pool.
+func (e *Engine) freeActivation(a *activation) {
+	*a = activation{}
+	e.actFree = append(e.actFree, a)
 }
 
 // batch is a group of output tuples bound for one bucket of the consumer
@@ -83,38 +110,60 @@ func batchBytes(tuples, tupleBytes int64) int64 {
 // queue is a bounded FIFO of activations. One queue exists per (operator,
 // thread) on every home node of the operator (§3.1); capacity bounds
 // memory growth and provides the flow control synchronizing producers and
-// consumers in a pipeline chain.
+// consumers in a pipeline chain. Storage is a growable power-of-two ring
+// buffer, so steady-state push/pop never allocate or copy.
 type queue struct {
 	op   *opState
 	node int
 	idx  int
 
-	items []*activation
+	items []*activation // ring storage; len(items) is a power of two
 	head  int
+	count int
 }
 
-func (q *queue) len() int { return len(q.items) - q.head }
+func (q *queue) len() int { return q.count }
 
-func (q *queue) empty() bool { return q.len() == 0 }
+func (q *queue) empty() bool { return q.count == 0 }
 
 // full reports whether the queue is at capacity for producer flow control.
-func (q *queue) full(capacity int) bool { return q.len() >= capacity }
+func (q *queue) full(capacity int) bool { return q.count >= capacity }
+
+// at returns the i-th queued activation (0 = front) without removing it.
+func (q *queue) at(i int) *activation {
+	return q.items[(q.head+i)&(len(q.items)-1)]
+}
 
 func (q *queue) push(a *activation) {
-	q.items = append(q.items, a)
+	if q.count == len(q.items) {
+		q.grow()
+	}
+	q.items[(q.head+q.count)&(len(q.items)-1)] = a
+	q.count++
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (q *queue) grow() {
+	size := len(q.items) * 2
+	if size == 0 {
+		size = 8
+	}
+	items := make([]*activation, size)
+	for i := 0; i < q.count; i++ {
+		items[i] = q.at(i)
+	}
+	q.items = items
+	q.head = 0
 }
 
 func (q *queue) pop() *activation {
-	if q.empty() {
+	if q.count == 0 {
 		return nil
 	}
 	a := q.items[q.head]
 	q.items[q.head] = nil
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.items) {
-		q.items = append(q.items[:0], q.items[q.head:]...)
-		q.head = 0
-	}
+	q.head = (q.head + 1) & (len(q.items) - 1)
+	q.count--
 	return a
 }
 
@@ -126,8 +175,8 @@ func (q *queue) popAll() []*activation {
 
 // popN removes and returns up to n activations from the front.
 func (q *queue) popN(n int) []*activation {
-	if n > q.len() {
-		n = q.len()
+	if n > q.count {
+		n = q.count
 	}
 	out := make([]*activation, 0, n)
 	for len(out) < n {

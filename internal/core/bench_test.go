@@ -1,0 +1,72 @@
+package core
+
+// Microbenchmarks and allocation gates for the engine's per-activation
+// plumbing: queue push/pop, activation pooling, credit bookkeeping and
+// emission. BenchmarkActivationChurn drives a full pipeline chain through
+// the simulated engine; the alloc gate bounds a run's allocations so the
+// pooled hot path cannot regress into per-activation garbage.
+
+import (
+	"testing"
+
+	"hierdb/internal/cluster"
+)
+
+// BenchmarkActivationChurn drives a one-node five-operator pipeline chain
+// — every activation kind (trigger, build, probe) and the emission path.
+func BenchmarkActivationChurn(b *testing.B) {
+	tree := chainPlanForDebug(5, 1, 100)
+	cfg := cluster.DefaultConfig(1, 8)
+	opt := DefaultOptions(DP)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tree, cfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMultiNode exercises the remote path: credits, network
+// delivery and global load balancing across four SM-nodes.
+func BenchmarkEngineMultiNode(b *testing.B) {
+	tree := chainPlanForDebug(5, 4, 100)
+	cfg := cluster.DefaultConfig(4, 2)
+	opt := DefaultOptions(DP)
+	opt.RedistributionSkew = 0.8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tree, cfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestActivationChurnAllocBound gates the engine's allocation behaviour:
+// a chain run processing thousands of activations must stay within the
+// fixed setup cost (engine, cluster, threads, queues) plus pool growth —
+// not one allocation per activation/event as before the refactor.
+func TestActivationChurnAllocBound(t *testing.T) {
+	tree := chainPlanForDebug(5, 1, 10)
+	cfg := cluster.DefaultConfig(1, 8)
+	opt := DefaultOptions(DP)
+	// Warm up once so lazily initialized catalog state settles.
+	r, err := Run(tree, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueOps < 2000 {
+		t.Fatalf("want a run with >= 2000 queue operations to make the gate meaningful, got %d", r.QueueOps)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(tree, cfg, opt); err != nil {
+			t.Error(err)
+		}
+	})
+	perQueueOp := allocs / float64(r.QueueOps)
+	if perQueueOp > 0.5 {
+		t.Fatalf("engine run allocates %.0f times for %d queue ops (%.2f per op); the pooled hot path should be well under 0.5",
+			allocs, r.QueueOps, perQueueOp)
+	}
+}

@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hierdb/internal/cluster"
 	"hierdb/internal/metrics"
@@ -29,6 +30,10 @@ type Engine struct {
 
 	ops   []*opState
 	nodes []*engNode
+
+	// actFree is the activation free list: completed activations are
+	// recycled here so the steady-state hot path allocates nothing.
+	actFree []*activation
 
 	batchTuples int64
 
@@ -88,28 +93,25 @@ func newEngine(k *simtime.Kernel, cl *cluster.Cluster, tree *plan.Tree, opt Opti
 	// SM-node state.
 	for n := 0; n < cl.Cfg.Nodes; n++ {
 		e.nodes = append(e.nodes, &engNode{
-			eng:        e,
-			id:         n,
-			credits:    make(map[credKey]int),
-			creditDebt: make(map[credKey]int),
-			shipped:    make(map[shipKey]bool),
+			eng:     e,
+			id:      n,
+			shipped: make(map[shipKey]bool),
 		})
 	}
 
 	// Operator state.
 	for _, op := range tree.Ops {
+		for _, n := range op.Home {
+			if n < 0 || n >= cl.Cfg.Nodes {
+				return nil, fmt.Errorf("core: %s homed on nonexistent node %d", op.Name, n)
+			}
+		}
 		o := &opState{
 			eng:     e,
 			op:      op,
 			home:    op.Home,
-			homePos: make(map[int]int, len(op.Home)),
+			homePos: newHomePos(cl.Cfg.Nodes, op.Home),
 			rng:     rng.Split(uint64(op.ID)),
-		}
-		for i, n := range op.Home {
-			if n < 0 || n >= cl.Cfg.Nodes {
-				return nil, fmt.Errorf("core: %s homed on nonexistent node %d", op.Name, n)
-			}
-			o.homePos[n] = i
 		}
 		homeThreads := len(op.Home) * cl.Cfg.ProcsPerNode
 		if op.Kind != plan.Scan {
@@ -126,7 +128,7 @@ func newEngine(k *simtime.Kernel, cl *cluster.Cluster, tree *plan.Tree, opt Opti
 		for _, n := range op.Home {
 			on := &opNode{node: n}
 			if op.Kind == plan.Build {
-				on.tables = make(map[int]int64)
+				on.tables = make([]int64, o.buckets)
 			}
 			for qi := 0; qi < nq; qi++ {
 				on.queues = append(on.queues, &queue{op: o, node: n, idx: qi})
@@ -136,6 +138,11 @@ func newEngine(k *simtime.Kernel, cl *cluster.Cluster, tree *plan.Tree, opt Opti
 		e.ops = append(e.ops, o)
 	}
 	e.rootOp = e.ops[tree.Root.ID]
+
+	// Flow-control windows (sized now that the operator count is known).
+	for _, n := range e.nodes {
+		n.initCredits(len(e.ops), cl.Cfg.Nodes)
+	}
 
 	// Scheduling graph.
 	for _, op := range tree.Ops {
@@ -223,7 +230,6 @@ func (e *Engine) seedScan(o *opState) {
 	for pos, n := range o.home {
 		on := o.perNode[pos]
 		card := parts[pos]
-		node := e.nodes[n]
 		disks := len(e.cl.Nodes[n].Disks)
 		if queueZipf == nil && e.opt.RedistributionSkew > 0 {
 			queueZipf = xrand.NewZipf(len(on.queues), e.opt.RedistributionSkew)
@@ -241,15 +247,13 @@ func (e *Engine) seedScan(o *opState) {
 			}
 			card -= tuples
 			pages -= p
-			a := &activation{
-				op:      o,
-				kind:    trigger,
-				node:    n,
-				pages:   int(p),
-				tuples:  tuples,
-				diskIdx: seq % disks,
-				srcNode: -1,
-			}
+			a := e.newActivation()
+			a.op = o
+			a.kind = trigger
+			a.node = n
+			a.pages = int(p)
+			a.tuples = tuples
+			a.diskIdx = seq % disks
 			qi := seq % len(on.queues)
 			if queueZipf != nil {
 				qi = queueZipf.Draw(o.rng)
@@ -257,7 +261,6 @@ func (e *Engine) seedScan(o *opState) {
 			on.queues[qi].push(a)
 			o.outstanding++
 			seq++
-			_ = node
 		}
 	}
 }
@@ -282,7 +285,7 @@ func (e *Engine) allocateFP(c int) {
 	for _, n := range e.nodes {
 		p := len(n.threads)
 		for _, t := range n.threads {
-			t.allowed = make(map[*opState]bool)
+			t.allowed = newOpBitset(len(e.ops))
 		}
 		if len(chain) <= p {
 			// One thread minimum per operator, remainder by share.
@@ -310,26 +313,25 @@ func (e *Engine) allocateFP(c int) {
 			ti := 0
 			for i, op := range chain {
 				for j := 0; j < counts[i]; j++ {
-					n.threads[ti].allowed[e.ops[op.ID]] = true
+					n.threads[ti].allowed.set(op.ID)
 					ti++
 				}
 			}
 		} else {
 			// More operators than threads: pack operators onto
-			// threads, heaviest first onto the least-loaded thread.
+			// threads, heaviest first onto the least-loaded thread
+			// (ties broken by chain position for determinism).
 			loads := make([]float64, p)
 			order := make([]int, len(chain))
 			for i := range order {
 				order[i] = i
 			}
-			// Selection sort by descending work (chains are short).
-			for i := 0; i < len(order); i++ {
-				for j := i + 1; j < len(order); j++ {
-					if work[order[j]] > work[order[i]] {
-						order[i], order[j] = order[j], order[i]
-					}
+			sort.Slice(order, func(a, b int) bool {
+				if work[order[a]] != work[order[b]] {
+					return work[order[a]] > work[order[b]]
 				}
-			}
+				return order[a] < order[b]
+			})
 			for _, oi := range order {
 				best := 0
 				for ti := 1; ti < p; ti++ {
@@ -338,7 +340,7 @@ func (e *Engine) allocateFP(c int) {
 					}
 				}
 				loads[best] += work[oi]
-				n.threads[best].allowed[e.ops[chain[oi].ID]] = true
+				n.threads[best].allowed.set(chain[oi].ID)
 			}
 		}
 		n.wake()
@@ -354,14 +356,12 @@ func (e *Engine) deliverLocal(t *thread, b *batch) bool {
 	if q.full(e.opt.QueueCapacity) {
 		return false
 	}
-	a := &activation{
-		op:         c,
-		kind:       data,
-		node:       b.dstNode,
-		bucket:     b.bucket,
-		dataTuples: b.tuples,
-		srcNode:    -1,
-	}
+	a := e.newActivation()
+	a.op = c
+	a.kind = data
+	a.node = b.dstNode
+	a.bucket = b.bucket
+	a.dataTuples = b.tuples
 	c.outstanding++
 	q.push(a)
 	t.chargeQueueOp()
@@ -377,28 +377,27 @@ func (e *Engine) deliverLocal(t *thread, b *batch) bool {
 func (e *Engine) deliverRemote(t *thread, b *batch) bool {
 	c := b.consumer
 	src := t.node
-	key := credKey{opID: c.op.ID, peerNode: b.dstNode}
-	if src.creditsFor(key) <= 0 {
+	if src.creditsFor(c.op.ID, b.dstNode) <= 0 {
 		return false
 	}
-	src.credits[key]--
+	src.credits[src.credIdx(c.op.ID, b.dstNode)]--
 	bytes := batchBytes(b.tuples, c.op.TupleBytes)
 	t.charge(e.cl.Net.SendInstr(bytes))
-	a := &activation{
-		op:         c,
-		kind:       data,
-		node:       b.dstNode,
-		bucket:     b.bucket,
-		dataTuples: b.tuples,
-		srcNode:    src.id,
-		recvInstr:  e.cl.Net.RecvInstr(bytes),
-	}
+	a := e.newActivation()
+	a.op = c
+	a.kind = data
+	a.node = b.dstNode
+	a.bucket = b.bucket
+	a.dataTuples = b.tuples
+	a.srcNode = src.id
+	a.recvInstr = e.cl.Net.RecvInstr(bytes)
 	c.outstanding++
+	dstNode, bucket := b.dstNode, b.bucket
 	e.cl.Net.Send(simnet.Pipeline, bytes, func() {
-		on := c.at(b.dstNode)
-		q := on.queues[c.queueOfBucket(b.bucket)]
+		on := c.at(dstNode)
+		q := on.queues[c.queueOfBucket(bucket)]
 		q.push(a)
-		e.nodes[b.dstNode].wakeFor(c)
+		e.nodes[dstNode].wakeFor(c)
 	})
 	return true
 }
@@ -412,28 +411,29 @@ func (e *Engine) initialCredits() int {
 // returns half-window credit batches to the producer (§3.1 flow control,
 // in the style of [Graefe93, Pirahesh90]).
 func (e *Engine) creditConsumed(consumerNode *engNode, a *activation) {
-	key := credKey{opID: a.op.op.ID, peerNode: a.srcNode}
-	consumerNode.creditDebt[key]++
+	idx := consumerNode.credIdx(a.op.op.ID, a.srcNode)
+	consumerNode.creditDebt[idx]++
 	half := e.initialCredits() / 2
 	if half < 1 {
 		half = 1
 	}
-	if consumerNode.creditDebt[key] < half {
+	if consumerNode.creditDebt[idx] < half {
 		return
 	}
-	e.returnCredits(consumerNode, key)
+	e.returnCredits(consumerNode, a.op.op.ID, a.srcNode)
 }
 
-// returnCredits sends the accumulated credit grant for key back to the
-// producing node.
-func (e *Engine) returnCredits(consumerNode *engNode, key credKey) {
-	grant := consumerNode.creditDebt[key]
+// returnCredits sends the accumulated credit grant for (opID, peer) back
+// to the producing node.
+func (e *Engine) returnCredits(consumerNode *engNode, opID, peer int) {
+	idx := consumerNode.credIdx(opID, peer)
+	grant := consumerNode.creditDebt[idx]
 	if grant <= 0 {
 		return
 	}
-	consumerNode.creditDebt[key] = 0
-	src := e.nodes[key.peerNode]
-	back := credKey{opID: key.opID, peerNode: consumerNode.id}
+	consumerNode.creditDebt[idx] = 0
+	src := e.nodes[peer]
+	back := src.credIdx(opID, consumerNode.id)
 	e.cl.Net.Send(simnet.Control, controlMsgBytes, func() {
 		src.credits[back] += grant
 		src.wake()
@@ -448,7 +448,7 @@ func (e *Engine) flushCredits(consumerNode *engNode, o *opState) {
 		if src == consumerNode.id {
 			continue
 		}
-		e.returnCredits(consumerNode, credKey{opID: o.op.ID, peerNode: src})
+		e.returnCredits(consumerNode, o.op.ID, src)
 	}
 }
 

@@ -90,11 +90,11 @@ func (e *Engine) bestCandidate(pv, req *engNode, opsFilter []*opState, freeMem i
 		if !o.isProbe() || !o.started || o.terminating {
 			return // conditions (iv) and (v)
 		}
-		if _, ok := o.homePos[req.id]; !ok {
+		if o.homePos[req.id] < 0 {
 			return // requester must own the operator
 		}
-		pos, ok := o.homePos[pv.id]
-		if !ok {
+		pos := o.homePos[pv.id]
+		if pos < 0 {
 			return
 		}
 		for _, q := range o.perNode[pos].queues {
@@ -104,8 +104,8 @@ func (e *Engine) bestCandidate(pv, req *engNode, opsFilter []*opState, freeMem i
 			}
 			var actBytes, tblBytes int64
 			seen := make(map[int]bool)
-			for i := q.head; i < len(q.items); i++ {
-				a := q.items[i]
+			for i := 0; i < n; i++ {
+				a := q.at(i)
 				actBytes += a.bytes()
 				if seen[a.bucket] {
 					continue
@@ -115,8 +115,8 @@ func (e *Engine) bestCandidate(pv, req *engNode, opsFilter []*opState, freeMem i
 					continue
 				}
 				tbl := e.ops[o.op.Partner.ID]
-				if tpos, ok := tbl.homePos[pv.id]; ok {
-					tblBytes += e.costs.HashTableBytes(tbl.perNode[tpos].tables[a.bucket], o.op.TupleBytes)
+				if tpos := tbl.homePos[pv.id]; tpos >= 0 {
+					tblBytes += e.costs.HashTableBytes(tbl.perNode[tpos].tableTuples(a.bucket), o.op.TupleBytes)
 				}
 			}
 			ship := actBytes + tblBytes
@@ -219,8 +219,8 @@ func (e *Engine) shipQueue(pv, req *engNode, owner *thread, c *candidate) {
 			key := shipKey{opID: o.op.ID, bucket: a.bucket, requester: req.id}
 			if !e.opt.StealCache || !pv.shipped[key] {
 				tbl := e.ops[o.op.Partner.ID]
-				if tpos, ok := tbl.homePos[pv.id]; ok {
-					bytes += e.costs.HashTableBytes(tbl.perNode[tpos].tables[a.bucket], o.op.TupleBytes)
+				if tpos := tbl.homePos[pv.id]; tpos >= 0 {
+					bytes += e.costs.HashTableBytes(tbl.perNode[tpos].tableTuples(a.bucket), o.op.TupleBytes)
 				}
 				pv.shipped[key] = true
 			}

@@ -123,7 +123,7 @@ func TestFPAllocationCoversAllOps(t *testing.T) {
 			for _, op := range tree.Chains[c] {
 				covered := false
 				for _, th := range n.threads {
-					if th.allowed[e.ops[op.ID]] {
+					if th.allowed.has(op.ID) {
 						covered = true
 					}
 				}

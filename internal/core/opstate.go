@@ -14,9 +14,11 @@ type opState struct {
 	op  *plan.Operator
 
 	// home lists the SM-nodes executing the operator; homePos maps a
-	// node id to its position in home.
+	// node id to its position in home (-1 when the node is not in the
+	// home). A flat slice indexed by node id keeps the per-activation
+	// lookups off the map path.
 	home    []int
-	homePos map[int]int
+	homePos []int
 
 	// buckets is the degree of fragmentation of the join this operator
 	// belongs to (build/probe); 0 for scans.
@@ -53,6 +55,18 @@ type opState struct {
 	results int64
 }
 
+// newHomePos builds the node-id -> home-position index for home.
+func newHomePos(nodes int, home []int) []int {
+	pos := make([]int, nodes)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, n := range home {
+		pos[n] = i
+	}
+	return pos
+}
+
 // opNode is the per-SM-node state of an operator.
 type opNode struct {
 	node   int
@@ -60,10 +74,30 @@ type opNode struct {
 	// residue carries fractional output tuples between activations so
 	// totals match the estimates exactly up to rounding.
 	residue float64
-	// tables maps bucket -> tuples for the hash tables built at this
-	// node (build operators; probes share via partner).
-	tables     map[int]int64
+	// tables counts tuples per bucket for the hash tables built at this
+	// node (build operators; probes share via partner). Indexed by
+	// bucket, grown on demand.
+	tables     []int64
 	tableBytes int64
+}
+
+// tableTuples returns the built tuple count for bucket b (0 when the
+// bucket has no table here).
+func (on *opNode) tableTuples(b int) int64 {
+	if b < len(on.tables) {
+		return on.tables[b]
+	}
+	return 0
+}
+
+// addTable adds n built tuples to bucket b.
+func (on *opNode) addTable(b int, n int64) {
+	if b >= len(on.tables) {
+		grown := make([]int64, b+1)
+		copy(grown, on.tables)
+		on.tables = grown
+	}
+	on.tables[b] += n
 }
 
 // nodeOfBucket maps a bucket to the home node storing it: buckets are
@@ -108,12 +142,18 @@ func (on *opNode) takeOutput(n int64, ratio float64) int64 {
 	return out
 }
 
-// credKey identifies a flow-control credit window for sending activations
-// of one operator from one node to another (§3.1 flow control across
-// nodes).
-type credKey struct {
-	opID     int
-	peerNode int
+// opBitset is a set of operators indexed by operator ID (the FP
+// thread-to-operator allocation). A nil bitset means "all operators".
+type opBitset []uint64
+
+func newOpBitset(ops int) opBitset {
+	return make(opBitset, (ops+63)/64)
+}
+
+func (b opBitset) set(id int) { b[id/64] |= 1 << (uint(id) % 64) }
+
+func (b opBitset) has(id int) bool {
+	return b[id/64]&(1<<(uint(id)%64)) != 0
 }
 
 // engNode is the runtime state of one SM-node.
@@ -130,9 +170,11 @@ type engNode struct {
 
 	// credits is the remaining send window per (operator, destination
 	// node); creditDebt counts consumed remote activations per
-	// (operator, source node) awaiting a credit-return message.
-	credits    map[credKey]int
-	creditDebt map[credKey]int
+	// (operator, source node) awaiting a credit-return message. Both are
+	// flat slices indexed by opID*nodes+peer (see credIdx), keeping the
+	// flow-control fast path free of map operations.
+	credits    []int
+	creditDebt []int
 
 	// memUsed approximates shared-memory consumption (hash tables plus
 	// stolen data), bounding load-sharing acquisitions (condition (i)).
@@ -157,15 +199,25 @@ type shipKey struct {
 	requester int
 }
 
-// creditsFor returns the node's remaining send window for key, lazily
-// initializing it to the full window.
-func (n *engNode) creditsFor(key credKey) int {
-	c, ok := n.credits[key]
-	if !ok {
-		c = n.eng.initialCredits()
-		n.credits[key] = c
+// credIdx flattens an (operator, peer node) credit key.
+func (n *engNode) credIdx(opID, peer int) int {
+	return opID*len(n.eng.nodes) + peer
+}
+
+// creditsFor returns the node's remaining send window for (opID, peer).
+func (n *engNode) creditsFor(opID, peer int) int {
+	return n.credits[n.credIdx(opID, peer)]
+}
+
+// initCredits sizes the flow-control windows once the operator count is
+// known, filling every window to the initial credit grant.
+func (n *engNode) initCredits(ops, nodes int) {
+	n.credits = make([]int, ops*nodes)
+	full := n.eng.initialCredits()
+	for i := range n.credits {
+		n.credits[i] = full
 	}
-	return c
+	n.creditDebt = make([]int, ops*nodes)
 }
 
 // freeMem returns the node's remaining memory budget.
@@ -186,8 +238,8 @@ func (n *engNode) rebuildActive() {
 		if !o.started || o.terminating {
 			continue
 		}
-		pos, ok := o.homePos[n.id]
-		if !ok {
+		pos := o.homePos[n.id]
+		if pos < 0 {
 			continue
 		}
 		n.active = append(n.active, o.perNode[pos].queues...)
@@ -218,7 +270,7 @@ func (n *engNode) wake() {
 // enqueue would only make them rescan and re-park.
 func (n *engNode) wakeFor(o *opState) {
 	for _, t := range n.threads {
-		if t.allowed == nil || t.allowed[o] {
+		if t.allowed == nil || t.allowed.has(o.op.ID) {
 			t.wake()
 		}
 	}

@@ -23,13 +23,17 @@ type thread struct {
 	proc *simtime.Proc
 	cond *simtime.Cond
 
+	// wakeFn caches the wake method value handed to Kernel.At, so timed
+	// wakeups do not allocate a new closure per sleep.
+	wakeFn func()
+
 	// suspended holds activations this thread started but could not
 	// complete (the paper's suspended execution contexts).
 	suspended []*activation
 
 	// allowed restricts the thread to a set of operators (FP mode);
 	// nil means any operator of the node (DP mode).
-	allowed map[*opState]bool
+	allowed opBitset
 
 	// FP per-processor global load balancing state.
 	stealOutstanding bool
@@ -43,6 +47,7 @@ type thread struct {
 func newThread(e *Engine, n *engNode, idx int) *thread {
 	t := &thread{eng: e, node: n, idx: idx}
 	t.cond = e.k.NewCond(fmt.Sprintf("n%dt%d", n.id, idx))
+	t.wakeFn = t.wake
 	return t
 }
 
@@ -102,8 +107,8 @@ func (t *thread) nextSuspended() *activation {
 
 // canProceed reports whether a suspended activation is unblocked.
 func (t *thread) canProceed(a *activation, now simtime.Time) bool {
-	if a.pending != nil {
-		return t.deliverable(a.pending)
+	if a.hasPending {
+		return t.deliverable(&a.pending)
 	}
 	if a.emitRemaining > 0 {
 		return true
@@ -121,7 +126,7 @@ func (t *thread) deliverable(b *batch) bool {
 		q := c.at(b.dstNode).queues[c.queueOfBucket(b.bucket)]
 		return !q.full(t.eng.opt.QueueCapacity)
 	}
-	return t.node.creditsFor(credKey{opID: c.op.ID, peerNode: b.dstNode}) > 0
+	return t.node.creditsFor(c.op.ID, b.dstNode) > 0
 }
 
 // mayConsume applies the FP restriction (nil allowed set = DP, any
@@ -130,7 +135,7 @@ func (t *thread) mayConsume(o *opState) bool {
 	if t.allowed == nil {
 		return true
 	}
-	return t.allowed[o]
+	return t.allowed.has(o.op.ID)
 }
 
 // nextQueued selects a new activation from the node's queues: primary
@@ -199,8 +204,10 @@ func (t *thread) step(a *activation) {
 		t.suspend(a)
 		return
 	}
-	a.op.outstanding--
-	t.eng.checkTermination(a.op)
+	o := a.op
+	o.outstanding--
+	t.eng.freeActivation(a)
+	t.eng.checkTermination(o)
 }
 
 // suspend parks a blocked activation on the thread's suspended list
@@ -260,7 +267,7 @@ func (t *thread) stepData(a *activation) bool {
 		case plan.Build:
 			t.charge(a.dataTuples * e.costs.BuildTuple)
 			on := o.at(a.node)
-			on.tables[a.bucket] += a.dataTuples
+			on.addTable(a.bucket, a.dataTuples)
 			bytes := e.costs.HashTableBytes(a.dataTuples, o.op.TupleBytes)
 			on.tableBytes += bytes
 			t.node.memUsed += bytes
@@ -289,7 +296,7 @@ func (t *thread) stepData(a *activation) bool {
 // activations processed off the bucket's home node use the local state
 // when the node is in the home, else the first home node.
 func (o *opState) residueNode(n int) *opNode {
-	if pos, ok := o.homePos[n]; ok {
+	if pos := o.homePos[n]; pos >= 0 {
 		return o.perNode[pos]
 	}
 	return o.perNode[0]
@@ -298,18 +305,18 @@ func (o *opState) residueNode(n int) *opNode {
 // drainEmission packs pending output tuples into batches and delivers
 // them. It returns false when blocked by flow control.
 func (t *thread) drainEmission(a *activation) bool {
-	if a.pending == nil && a.emitRemaining == 0 {
+	if !a.hasPending && a.emitRemaining == 0 {
 		return true
 	}
 	e := t.eng
 	c := a.op.consumer()
 	if c == nil {
 		a.emitRemaining = 0
-		a.pending = nil
+		a.hasPending = false
 		return true
 	}
 	for {
-		if a.pending == nil {
+		if !a.hasPending {
 			if a.emitRemaining == 0 {
 				return true
 			}
@@ -318,24 +325,25 @@ func (t *thread) drainEmission(a *activation) bool {
 				n = a.emitRemaining
 			}
 			bucket := c.bucketZipf.Draw(c.rng)
-			a.pending = &batch{
+			a.pending = batch{
 				consumer: c,
 				bucket:   bucket,
 				tuples:   n,
 				dstNode:  c.nodeOfBucket(bucket),
 			}
+			a.hasPending = true
 			a.emitRemaining -= n
 		}
 		var ok bool
 		if a.pending.dstNode == t.node.id {
-			ok = e.deliverLocal(t, a.pending)
+			ok = e.deliverLocal(t, &a.pending)
 		} else {
-			ok = e.deliverRemote(t, a.pending)
+			ok = e.deliverRemote(t, &a.pending)
 		}
 		if !ok {
 			return false
 		}
-		a.pending = nil
+		a.hasPending = false
 	}
 }
 
@@ -358,26 +366,19 @@ func (t *thread) maybeRequestWork() {
 		e.startStealRound(n, nil, nil)
 		return
 	}
-	// FP: the thread steals for the operators it is allocated to.
+	// FP: the thread steals for the operators it is allocated to. The
+	// bitset scan yields operator-ID order, which is deterministic.
 	if t.stealOutstanding || now < t.nextStealTime {
 		return
 	}
 	var ops []*opState
-	for o := range t.allowed {
-		if o.isProbe() && o.started && !o.terminating {
+	for _, o := range e.ops {
+		if t.allowed.has(o.op.ID) && o.isProbe() && o.started && !o.terminating {
 			ops = append(ops, o)
 		}
 	}
 	if len(ops) == 0 {
 		return
-	}
-	// Deterministic order (map iteration is random).
-	for i := 0; i < len(ops); i++ {
-		for j := i + 1; j < len(ops); j++ {
-			if ops[j].op.ID < ops[i].op.ID {
-				ops[i], ops[j] = ops[j], ops[i]
-			}
-		}
 	}
 	t.stealOutstanding = true
 	e.startStealRound(t.node, ops, t)
@@ -398,7 +399,7 @@ func (t *thread) sleep() {
 	var wakeAt simtime.Time
 	ioPending := false
 	for _, a := range t.suspended {
-		if a.kind == trigger && a.req != nil && a.pagesDone < a.pages && a.pending == nil && a.emitRemaining == 0 {
+		if a.kind == trigger && a.req != nil && a.pagesDone < a.pages && !a.hasPending && a.emitRemaining == 0 {
 			ioPending = true
 			r := a.req.NextReadyAt()
 			if wakeAt == 0 || r < wakeAt {
@@ -417,7 +418,7 @@ func (t *thread) sleep() {
 		}
 	}
 	if wakeAt > now {
-		e.k.At(wakeAt, t.wake)
+		e.k.At(wakeAt, t.wakeFn)
 	}
 	t.sleeping = true
 	t.cond.Wait(t.proc)

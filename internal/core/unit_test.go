@@ -99,7 +99,7 @@ func TestActivationBytes(t *testing.T) {
 func TestBucketDeclustering(t *testing.T) {
 	o := &opState{
 		home:    []int{0, 1, 2},
-		homePos: map[int]int{0: 0, 1: 1, 2: 2},
+		homePos: newHomePos(3, []int{0, 1, 2}),
 	}
 	o.perNode = []*opNode{
 		{node: 0, queues: make([]*queue, 4)},

@@ -198,8 +198,38 @@ type runState struct {
 	allowed []map[*pop]bool
 
 	results [][]Row
-	stats   Stats
-	acts    int64
+	// arenas holds one row arena per worker: result rows of the default
+	// combine are carved out of large chunks instead of allocated one by
+	// one (the dominant allocation of a probe-heavy plan).
+	arenas []rowArena
+	stats  Stats
+	acts   int64
+}
+
+// rowArena bump-allocates row storage from fixed-size chunks. Carved rows
+// are capacity-capped, so a later append by the caller copies out instead
+// of clobbering a neighbour.
+type rowArena struct {
+	chunk []any
+}
+
+// arenaChunk is the arena chunk size in row slots (16 bytes each).
+const arenaChunk = 16 * 1024
+
+// concat returns a new row holding a then b, carved from the arena.
+func (ar *rowArena) concat(a, b Row) Row {
+	need := len(a) + len(b)
+	if len(ar.chunk)+need > cap(ar.chunk) {
+		size := arenaChunk
+		if need > size {
+			size = need
+		}
+		ar.chunk = make([]any, 0, size)
+	}
+	n := len(ar.chunk)
+	ar.chunk = append(ar.chunk, a...)
+	ar.chunk = append(ar.chunk, b...)
+	return Row(ar.chunk[n:len(ar.chunk):len(ar.chunk)])
 }
 
 func (p *physical) run(ctx context.Context, opt Options) ([]Row, *Stats, error) {
@@ -209,14 +239,16 @@ func (p *physical) run(ctx context.Context, opt Options) ([]Row, *Stats, error) 
 		or := &opRun{op: op, queues: make([][]*activation, opt.Workers)}
 		if op.kind == opBuild {
 			or.stripes = make([]map[any][]Row, opt.Stripes)
+			hint := int(op.est)/opt.Stripes + 1
 			for i := range or.stripes {
-				or.stripes[i] = make(map[any][]Row)
+				or.stripes[i] = make(map[any][]Row, hint)
 			}
 			or.locks = make([]sync.Mutex, opt.Stripes)
 		}
 		rs.ops = append(rs.ops, or)
 	}
 	rs.results = make([][]Row, opt.Workers)
+	rs.arenas = make([]rowArena, opt.Workers)
 	rs.stats.PerWorker = make([]int64, opt.Workers)
 	if opt.Static {
 		rs.allowed = make([]map[*pop]bool, opt.Workers)
@@ -468,6 +500,9 @@ func (rs *runState) process(a *activation, w int) (outs []*activation, results [
 			if s.Filter != nil && !s.Filter(row) {
 				continue
 			}
+			if batch == nil {
+				batch = make([]Row, 0, rs.opt.Batch)
+			}
 			batch = append(batch, row)
 			if len(batch) >= rs.opt.Batch {
 				emit(a.op.consumer, batch)
@@ -491,23 +526,25 @@ func (rs *runState) process(a *activation, w int) (outs []*activation, results [
 		bo := rs.ops[a.op.partner.id]
 		key := a.op.join.ProbeKey
 		combine := a.op.join.Combine
-		if combine == nil {
-			combine = func(probe, build Row) Row {
-				out := make(Row, 0, len(probe)+len(build))
-				out = append(out, probe...)
-				return append(out, build...)
-			}
-		}
+		arena := &rs.arenas[w]
 		isRoot := a.op == rs.p.root
 		var batch []Row
 		for _, row := range a.rows {
 			k := key(row)
 			s := hashKey(k, rs.opt.Stripes)
 			for _, b := range bo.stripes[s][k] {
-				out := combine(row, b)
+				var out Row
+				if combine != nil {
+					out = combine(row, b)
+				} else {
+					out = arena.concat(row, b)
+				}
 				if isRoot {
 					results = append(results, out)
 					continue
+				}
+				if batch == nil {
+					batch = make([]Row, 0, rs.opt.Batch)
 				}
 				batch = append(batch, out)
 				if len(batch) >= rs.opt.Batch {

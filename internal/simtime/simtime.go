@@ -15,7 +15,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -62,34 +61,75 @@ func max64(a, b Time) Time {
 	return b
 }
 
+// event is a value-typed heap entry carrying a tagged payload: the dominant
+// case (Delay, Cond.Signal, Spawn) dispatches proc directly, so scheduling
+// allocates nothing; the general case (After/At) runs fn.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc  // when non-nil, dispatch this process
+	fn   func() // otherwise, run fn in kernel context
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventHeap is a min-heap of events ordered by (at, seq), stored by value so
+// push/pop never touch the allocator beyond amortized slice growth.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn/proc references
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l].before(s[least]) {
+			least = l
+		}
+		if r < n && s[r].before(s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	*h = s
+	return top
 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; call NewKernel.
+//
+// Control migrates between process goroutines: whichever goroutine is
+// executing simulated code also drives the event loop when it parks, so a
+// process that resumes itself (the dominant Delay case) costs no goroutine
+// switch at all and a cross-process transfer costs exactly one.
 type Kernel struct {
 	now    Time
 	seq    uint64
@@ -97,11 +137,13 @@ type Kernel struct {
 	procs  []*Proc
 	live   int
 	ran    bool
+	// mainCh wakes Run when a driver drains the event heap.
+	mainCh chan struct{}
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{mainCh: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -127,7 +169,15 @@ func (k *Kernel) At(t Time, fn func()) {
 
 func (k *Kernel) at(t Time, fn func()) {
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// dispatchAt schedules a direct dispatch of p at absolute time t. This is
+// the allocation-free fast path behind Delay, Spawn, Cond.Signal and
+// Cond.Broadcast.
+func (k *Kernel) dispatchAt(t Time, p *Proc) {
+	k.seq++
+	k.events.push(event{at: t, seq: k.seq, proc: p})
 }
 
 // Proc is a simulated sequential process (one per simulated processor-thread
@@ -137,7 +187,6 @@ type Proc struct {
 	k      *Kernel
 	name   string
 	resume chan struct{}
-	yield  chan struct{}
 	done   bool
 	// waiting marks a proc parked on a Cond (used for deadlock reporting).
 	waiting string
@@ -160,7 +209,6 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		k:      k,
 		name:   name,
 		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
 	}
 	k.procs = append(k.procs, p)
 	k.live++
@@ -169,28 +217,62 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		body(p)
 		p.done = true
 		k.live--
-		p.yield <- struct{}{}
+		// The finished process is the current loop driver: keep
+		// draining events until control transfers or the heap empties,
+		// then let the goroutine exit.
+		k.advance(nil)
 	}()
-	k.After(0, func() { k.dispatch(p) })
+	k.dispatchAt(k.now, p)
 	return p
 }
 
-// dispatch hands control to p until it parks or terminates. Must run in
-// kernel context.
-func (k *Kernel) dispatch(p *Proc) {
-	if p.done {
+// advance drives the event loop on the calling goroutine. It returns when
+// an event resumes self (self's park is over). When an event dispatches a
+// different process, control transfers there: with a non-nil self the
+// caller blocks until resumed in turn, otherwise (a finished process or
+// the initial Run drive) advance returns immediately so the goroutine can
+// exit or wait on mainCh. When the heap drains, Run is woken.
+func (k *Kernel) advance(self *Proc) {
+	for {
+		if len(k.events) == 0 {
+			// Simulation over (or deadlocked): hand control to Run.
+			k.mainCh <- struct{}{}
+			if self == nil {
+				return
+			}
+			<-self.resume // deadlocked: parked forever
+			continue
+		}
+		e := k.events.pop()
+		if e.at < k.now {
+			panic("simtime: time went backwards")
+		}
+		k.now = e.at
+		if e.proc == nil {
+			e.fn()
+			continue
+		}
+		p := e.proc
+		if p.done {
+			continue
+		}
+		if p == self {
+			return // self-resume: no goroutine switch
+		}
+		p.resume <- struct{}{}
+		if self == nil {
+			return
+		}
+		<-self.resume
 		return
 	}
-	p.resume <- struct{}{}
-	<-p.yield
 }
 
-// park suspends the calling process, returning control to the kernel. The
-// process resumes when some event dispatches it again.
+// park suspends the calling process, driving the event loop until some
+// event dispatches it again.
 func (p *Proc) park(why string) {
 	p.waiting = why
-	p.yield <- struct{}{}
-	<-p.resume
+	p.k.advance(p)
 	p.waiting = ""
 }
 
@@ -202,7 +284,7 @@ func (p *Proc) Delay(d Duration) {
 		panic("simtime: negative delay")
 	}
 	k := p.k
-	k.After(d, func() { k.dispatch(p) })
+	k.dispatchAt(k.now+d, p)
 	p.park("delay")
 }
 
@@ -214,13 +296,13 @@ func (k *Kernel) Run() error {
 		return fmt.Errorf("simtime: kernel already ran")
 	}
 	k.ran = true
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if e.at < k.now {
-			panic("simtime: time went backwards")
-		}
-		k.now = e.at
-		e.fn()
+	if len(k.events) > 0 {
+		// Drive until the first control transfer (advance returns after
+		// handing off with self == nil), then wait for a driver to drain
+		// the heap. If no event ever transfers control, advance itself
+		// signals mainCh on the empty heap.
+		k.advance(nil)
+		<-k.mainCh
 	}
 	if k.live > 0 {
 		var stuck []string
@@ -241,20 +323,21 @@ func (k *Kernel) Run() error {
 type Cond struct {
 	k       *Kernel
 	name    string
+	label   string // precomputed park label; Wait must not allocate
 	waiters []*Proc
 }
 
 // NewCond returns a condition variable attached to k. The name appears in
 // deadlock reports.
 func (k *Kernel) NewCond(name string) *Cond {
-	return &Cond{k: k, name: name}
+	return &Cond{k: k, name: name, label: "cond " + name}
 }
 
 // Wait parks p until another event calls Signal or Broadcast. As with
 // sync.Cond, callers re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.name)
+	p.park(c.label)
 }
 
 // Signal wakes the longest-waiting process, if any. The wakeup is delivered
@@ -264,8 +347,10 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.k.After(0, func() { c.k.dispatch(p) })
+	copy(c.waiters, c.waiters[1:])
+	c.waiters[len(c.waiters)-1] = nil
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.k.dispatchAt(c.k.now, p)
 }
 
 // Broadcast wakes every waiting process.
@@ -273,8 +358,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, p := range ws {
-		p := p
-		c.k.After(0, func() { c.k.dispatch(p) })
+		c.k.dispatchAt(c.k.now, p)
 	}
 }
 

@@ -121,6 +121,75 @@ func TestCondBroadcast(t *testing.T) {
 	}
 }
 
+func TestCondBroadcastPreservesWaitOrder(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond("all")
+	var woke []string
+	names := []string{"w1", "w2", "w3", "w4"}
+	for i, name := range names {
+		i, name := i, name
+		k.Spawn(name, func(p *Proc) {
+			// Stagger arrival so the wait order is w1..w4.
+			p.Delay(Duration(i) * Microsecond)
+			c.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	k.After(1*Millisecond, func() { c.Broadcast() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != len(names) {
+		t.Fatalf("woke %d of %d", len(woke), len(names))
+	}
+	for i, name := range names {
+		if woke[i] != name {
+			t.Fatalf("broadcast wake order = %v, want %v", woke, names)
+		}
+	}
+}
+
+func TestCondWaitingCountsInterleaved(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond("gate")
+	// Three waiters park one microsecond apart; signals are interleaved
+	// with the arrivals. Waiting() must reflect parked-minus-signalled at
+	// every step.
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Delay(Duration(10*i) * Microsecond)
+			c.Wait(p)
+		})
+	}
+	type obs struct {
+		at        Time
+		want, got int
+	}
+	var bad []obs
+	check := func(at Time, want int) {
+		k.At(at, func() {
+			if c.Waiting() != want {
+				bad = append(bad, obs{at, want, c.Waiting()})
+			}
+		})
+	}
+	check(5*Microsecond, 1)  // w0 parked
+	check(15*Microsecond, 2) // w0, w1 parked
+	k.At(16*Microsecond, func() { c.Signal() })
+	check(17*Microsecond, 1) // w0 signalled out
+	check(25*Microsecond, 2) // w2 parked
+	k.At(26*Microsecond, func() { c.Signal() })
+	k.At(27*Microsecond, func() { c.Signal() })
+	check(28*Microsecond, 0) // drained
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range bad {
+		t.Errorf("Waiting() at %v = %d, want %d", o.at, o.got, o.want)
+	}
+}
+
 func TestDeadlockDetected(t *testing.T) {
 	k := NewKernel()
 	c := k.NewCond("never")
