@@ -1,0 +1,150 @@
+package hierdb
+
+// The resident database handle: a named-table catalog plus one
+// long-lived DP worker pool whose workers serve activations from every
+// in-flight query. This is the paper's execution model promoted to an
+// engine-as-a-service surface — load balances itself across concurrent
+// queries at execution time, not just within one.
+
+import (
+	"fmt"
+	"sync"
+
+	"hierdb/internal/exec"
+)
+
+// dbConfig collects Open-time options.
+type dbConfig struct {
+	workers int
+	stripes int
+	morsel  int
+	batch   int
+	maxq    int
+	static  bool
+}
+
+// Option configures a DB at Open time.
+type Option func(*dbConfig)
+
+// WithWorkers sets the resident pool's worker-goroutine count (one per
+// processor in the paper's model). 0 means the default (4); negative
+// values are rejected, reported by Run/RegisterTable-time validation.
+func WithWorkers(n int) Option { return func(c *dbConfig) { c.workers = n } }
+
+// WithStripes sets the per-join hash-table lock-stripe count (the degree
+// of fragmentation). 0 means 8x workers.
+func WithStripes(n int) Option { return func(c *dbConfig) { c.stripes = n } }
+
+// WithMorsel sets the scan granularity in rows (trigger-activation
+// granularity). 0 means 1024.
+func WithMorsel(n int) Option { return func(c *dbConfig) { c.morsel = n } }
+
+// WithBatch sets the pipeline granularity in rows (data-activation
+// granularity). 0 means 256.
+func WithBatch(n int) Option { return func(c *dbConfig) { c.batch = n } }
+
+// WithStatic binds each worker to one operator per pipeline chain (the
+// FP baseline) instead of the dynamic any-worker-any-operator model.
+func WithStatic(static bool) Option { return func(c *dbConfig) { c.static = static } }
+
+// WithMaxConcurrentQueries bounds the number of in-flight queries on the
+// pool; Run blocks (respecting its context) until a slot frees. 0 means
+// unlimited.
+func WithMaxConcurrentQueries(n int) Option { return func(c *dbConfig) { c.maxq = n } }
+
+// DB is a resident database handle. Open one, register tables, build
+// queries with Scan/Join/GroupBy, execute them concurrently with Run —
+// all queries share the handle's single DP worker pool, whose fair
+// cross-query scheduling keeps one heavy join from starving the others.
+// Close releases the workers, aborting any in-flight queries.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	closed bool
+
+	pool *exec.Pool
+	opt  EngineOptions
+	err  error // deferred Open-time validation error, surfaced by Run
+}
+
+// Open creates a resident DB. Invalid options do not panic: the error is
+// deferred and returned by the first Run (per the engine's
+// validate-don't-panic contract), so Open itself stays fluent.
+func Open(opts ...Option) *DB {
+	var cfg dbConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := &DB{
+		tables: make(map[string]*Table),
+		opt: EngineOptions{
+			Stripes: cfg.stripes,
+			Morsel:  cfg.morsel,
+			Batch:   cfg.batch,
+			Static:  cfg.static,
+		},
+	}
+	pool, err := exec.NewPool(cfg.workers, cfg.maxq)
+	if err != nil {
+		db.err = err
+		return db
+	}
+	db.pool = pool
+	return db
+}
+
+// RegisterTable adds a named in-memory relation to the catalog. The
+// table's rows must not be mutated while queries over it are in flight.
+func (db *DB) RegisterTable(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("hierdb: nil table")
+	}
+	if t.Name == "" {
+		return fmt.Errorf("hierdb: table without a name")
+	}
+	if db.err != nil {
+		return db.err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("hierdb: database closed")
+	}
+	if _, dup := db.tables[t.Name]; dup {
+		return fmt.Errorf("hierdb: table %q already registered", t.Name)
+	}
+	db.tables[t.Name] = t
+	return nil
+}
+
+// Table returns a registered table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Workers returns the resident pool's worker count.
+func (db *DB) Workers() int {
+	if db.pool == nil {
+		return 0
+	}
+	return db.pool.Workers()
+}
+
+// Close releases the resident worker pool, aborting in-flight queries
+// (their Rows report the abort). Idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	if db.pool != nil {
+		db.pool.Close()
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+package hierdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db := Open(opts...)
+	t.Cleanup(func() { db.Close() })
+	reg := func(name string, n int, key func(i int) any, payload func(i int) any) {
+		tb := &Table{Name: name, Cols: []string{"k", "v"}}
+		for i := 0; i < n; i++ {
+			tb.Rows = append(tb.Rows, Row{key(i), payload(i)})
+		}
+		if err := db.RegisterTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("orders", 900, func(i int) any { return i % 30 }, func(i int) any { return i })
+	reg("lines", 30, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("l%d", i) })
+	reg("regions", 30, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("r%d", i%5) })
+	return db
+}
+
+func canonRows(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint([]any(r))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDBQueryBuilder(t *testing.T) {
+	db := testDB(t, WithWorkers(4))
+
+	// Streaming join through Rows.
+	q := db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
+	rows, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		if len(rows.Row()) != 4 {
+			t.Fatalf("row width %d", len(rows.Row()))
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 900 {
+		t.Fatalf("streamed %d rows, want 900", n)
+	}
+	st := rows.Stats()
+	if st.ResultRows != 900 || st.Activations == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// The same logical query through the legacy one-shot surface.
+	lines, _ := db.Table("lines")
+	ordersTab, _ := db.Table("orders")
+	legacy, _, err := Execute(context.Background(), &JoinNode{
+		Build:    &ScanNode{Table: lines},
+		Probe:    &ScanNode{Table: ordersTab},
+		BuildKey: KeyCol(0),
+		ProbeKey: KeyCol(0),
+	}, EngineOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := q.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w := canonRows(got), canonRows(legacy)
+	if len(g) != len(w) {
+		t.Fatalf("builder %d rows vs legacy %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("row %d: %s vs %s", i, g[i], w[i])
+		}
+	}
+}
+
+func TestDBFilterCombineGroupBy(t *testing.T) {
+	db := testDB(t)
+	report, _, err := db.Scan("orders", func(r Row) bool { return r[0].(int) < 10 }).
+		Join(db.Scan("regions"), KeyCol(0), KeyCol(0)).
+		Combine(func(order, region Row) Row { return Row{region[1], order[1]} }).
+		GroupBy(KeyCol(0), Aggregation{Func: Count}, Aggregation{Func: Sum, Arg: func(r Row) float64 { return float64(r[1].(int)) }}).
+		Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 0..9 map onto regions r0..r4, two keys each, 30 orders per
+	// pair of keys.
+	if len(report) != 5 {
+		t.Fatalf("%d groups, want 5", len(report))
+	}
+	var total int64
+	for _, r := range report {
+		total += r[1].(int64)
+	}
+	if total != 300 {
+		t.Fatalf("group counts sum to %d, want 300", total)
+	}
+}
+
+// TestDBConcurrentQueries runs distinct queries from many goroutines on
+// one handle and checks results and stats stay isolated (the facade leg
+// of the engine's -race concurrency check).
+func TestDBConcurrentQueries(t *testing.T) {
+	db := testDB(t, WithWorkers(4))
+	const n = 8
+	want := make([][]string, n)
+	queries := make([]*Query, n)
+	for i := 0; i < n; i++ {
+		lo := i
+		queries[i] = db.Scan("orders", func(r Row) bool { return r[0].(int) >= lo }).
+			Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
+		ref, _, err := queries[i].Collect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = canonRows(ref)
+	}
+	var wg sync.WaitGroup
+	got := make([][]string, n)
+	stats := make([]*EngineStats, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows, st, err := queries[i].Collect(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i], stats[i] = canonRows(rows), st
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 0; i < n; i++ {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("query %d: %d rows concurrent vs %d alone", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("query %d row %d differs", i, j)
+			}
+		}
+		if stats[i].ResultRows != int64(len(got[i])) {
+			t.Fatalf("query %d stats not isolated: %d vs %d rows", i, stats[i].ResultRows, len(got[i]))
+		}
+	}
+}
+
+// TestCombineClonesJoin: Combine/Selectivity must not mutate the shared
+// join node — two refinements of one base query stay independent, and
+// the base keeps the default combiner.
+func TestCombineClonesJoin(t *testing.T) {
+	db := testDB(t)
+	base := db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
+	narrow := base.Combine(func(p, b Row) Row { return Row{p[0]} })
+	wide := base.Combine(func(p, b Row) Row { return Row{p[0], p[1], b[1]} })
+	for q, width := range map[*Query]int{base: 4, narrow: 1, wide: 3} {
+		rows, _, err := q.Collect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 900 || len(rows[0]) != width {
+			t.Fatalf("got %d rows of width %d, want 900 of %d", len(rows), len(rows[0]), width)
+		}
+	}
+}
+
+func TestDBValidationErrors(t *testing.T) {
+	db := testDB(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"unregistered table", func() error {
+			_, err := db.Scan("nosuch").Run(ctx)
+			return err
+		}, `table "nosuch" not registered`},
+		{"unregistered build side", func() error {
+			_, err := db.Scan("orders").Join(db.Scan("nosuch"), KeyCol(0), KeyCol(0)).Run(ctx)
+			return err
+		}, `table "nosuch" not registered`},
+		{"nil probe key", func() error {
+			_, err := db.Scan("orders").Join(db.Scan("lines"), nil, KeyCol(0)).Run(ctx)
+			return err
+		}, "nil probe KeyFunc"},
+		{"nil build key", func() error {
+			_, err := db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), nil).Run(ctx)
+			return err
+		}, "nil build KeyFunc"},
+		{"group-by not last", func() error {
+			gq := db.Scan("orders").GroupBy(KeyCol(0), Aggregation{Func: Count})
+			_, err := gq.Join(db.Scan("lines"), KeyCol(0), KeyCol(0)).Run(ctx)
+			return err
+		}, "GroupBy must be the final step"},
+		{"nil group-by key", func() error {
+			_, err := db.Scan("orders").GroupBy(nil).Run(ctx)
+			return err
+		}, "nil KeyFunc"},
+		{"sum without Arg", func() error {
+			_, err := db.Scan("orders").GroupBy(KeyCol(0), Aggregation{Func: Sum}).Run(ctx)
+			return err
+		}, "without Arg"},
+		{"combine before join", func() error {
+			_, err := db.Scan("orders").Combine(func(p, b Row) Row { return p }).Run(ctx)
+			return err
+		}, "Combine without a preceding Join"},
+		{"cross-DB join", func() error {
+			other := Open()
+			defer other.Close()
+			if err := other.RegisterTable(&Table{Name: "t", Cols: []string{"k"}, Rows: []Row{{1}}}); err != nil {
+				return err
+			}
+			_, err := db.Scan("orders").Join(other.Scan("t"), KeyCol(0), KeyCol(0)).Run(ctx)
+			return err
+		}, "different DB handles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpenOptionErrorsDeferred(t *testing.T) {
+	db := Open(WithWorkers(-3))
+	defer db.Close()
+	if err := db.RegisterTable(&Table{Name: "t", Cols: []string{"k"}, Rows: []Row{{1}}}); err == nil ||
+		!strings.Contains(err.Error(), "negative Workers") {
+		t.Fatalf("RegisterTable on invalid DB = %v", err)
+	}
+	if _, err := db.Scan("t").Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "negative Workers") {
+		t.Fatalf("Run on invalid DB = %v", err)
+	}
+}
+
+func TestRegisterTableErrors(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if err := db.RegisterTable(nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if err := db.RegisterTable(&Table{}); err == nil {
+		t.Fatal("unnamed table accepted")
+	}
+	tab := &Table{Name: "t", Cols: []string{"k"}}
+	if err := db.RegisterTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(tab); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestRowsCloseEarlyReleasesPool(t *testing.T) {
+	db := Open(WithWorkers(2))
+	defer db.Close()
+	big := &Table{Name: "big", Cols: []string{"k"}}
+	for i := 0; i < 300_000; i++ {
+		big.Rows = append(big.Rows, Row{i})
+	}
+	if err := db.RegisterTable(big); err != nil {
+		t.Fatal(err)
+	}
+	q := db.Scan("big").Join(db.Scan("big"), KeyCol(0), KeyCol(0))
+	rows, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close")
+	}
+	// The abandoned query must not wedge the resident pool.
+	n := 0
+	small, err := db.Scan("big", func(r Row) bool { return r[0].(int) < 100 }).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for small.Next() {
+		n++
+	}
+	if err := small.Err(); err != nil || n != 100 {
+		t.Fatalf("post-Close query: %d rows, err %v", n, err)
+	}
+}
+
+func TestDBClosedErrors(t *testing.T) {
+	db := testDB(t)
+	q := db.Scan("orders")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Run on closed DB = %v", err)
+	}
+	if err := db.RegisterTable(&Table{Name: "x", Cols: []string{"k"}}); err == nil {
+		t.Fatal("RegisterTable on closed DB accepted")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("Close not idempotent")
+	}
+}
+
+func TestMaxConcurrentQueriesOption(t *testing.T) {
+	db := Open(WithWorkers(2), WithMaxConcurrentQueries(1))
+	defer db.Close()
+	tab := &Table{Name: "t", Cols: []string{"k"}}
+	for i := 0; i < 50_000; i++ {
+		tab.Rows = append(tab.Rows, Row{i})
+	}
+	if err := db.RegisterTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Scan("t").Join(db.Scan("t"), KeyCol(0), KeyCol(0)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single admission slot is held: a second Run must respect ctx.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Scan("t").Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("admission-blocked Run = %v", err)
+	}
+	if _, err := rows.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	// Slot free again.
+	if _, _, err := db.Scan("t", func(r Row) bool { return r[0].(int) < 5 }).Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticModeOnDB(t *testing.T) {
+	dyn := testDB(t, WithWorkers(4))
+	st := testDB(t, WithWorkers(4), WithStatic(true))
+	q := func(db *DB) []string {
+		rows, _, err := db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), KeyCol(0)).Collect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canonRows(rows)
+	}
+	a, b := q(dyn), q(st)
+	if len(a) != len(b) {
+		t.Fatalf("dynamic %d rows vs static %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between scheduling modes", i)
+		}
+	}
+}

@@ -8,7 +8,81 @@ import (
 	"hierdb"
 )
 
-// ExampleExecute joins two tables on the DP-scheduled engine.
+// ExampleOpen runs a streaming join on a resident DB: register tables
+// once, build queries fluently, iterate results through Rows. All
+// queries submitted to the handle share its single DP worker pool.
+func ExampleOpen() {
+	db := hierdb.Open(hierdb.WithWorkers(2))
+	defer db.Close()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(db.RegisterTable(&hierdb.Table{
+		Name: "users",
+		Cols: []string{"id", "name"},
+		Rows: []hierdb.Row{{1, "ada"}, {2, "grace"}},
+	}))
+	must(db.RegisterTable(&hierdb.Table{
+		Name: "logins",
+		Cols: []string{"user_id", "day"},
+		Rows: []hierdb.Row{{1, "mon"}, {2, "tue"}, {1, "wed"}},
+	}))
+
+	rows, err := db.Scan("logins").
+		Join(db.Scan("users"), hierdb.KeyCol(0), hierdb.KeyCol(0)).
+		Run(context.Background())
+	must(err)
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	must(rows.Err())
+	fmt.Println(n, "joined rows")
+	// Output: 3 joined rows
+}
+
+// ExampleQuery_GroupBy aggregates a join result with the builder: the
+// group-by folds in parallel on the pool's workers as batches stream.
+func ExampleQuery_GroupBy() {
+	db := hierdb.Open(hierdb.WithWorkers(2))
+	defer db.Close()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(db.RegisterTable(&hierdb.Table{
+		Name: "items",
+		Cols: []string{"sku", "price"},
+		Rows: []hierdb.Row{{1, 10.0}, {2, 20.0}},
+	}))
+	must(db.RegisterTable(&hierdb.Table{
+		Name: "sales",
+		Cols: []string{"sku"},
+		Rows: []hierdb.Row{{1}, {1}, {2}},
+	}))
+
+	report, _, err := db.Scan("sales").
+		Join(db.Scan("items"), hierdb.KeyCol(0), hierdb.KeyCol(0)).
+		GroupBy(hierdb.KeyCol(0), // sku
+			hierdb.Aggregation{Func: hierdb.Count},
+			hierdb.Aggregation{Func: hierdb.Sum, Arg: func(r hierdb.Row) float64 { return r[2].(float64) }},
+		).
+		Collect(context.Background())
+	must(err)
+	for _, r := range report {
+		fmt.Printf("sku=%v count=%v revenue=%v\n", r[0], r[1], r[2])
+	}
+	// Output:
+	// sku=1 count=2 revenue=20
+	// sku=2 count=1 revenue=20
+}
+
+// ExampleExecute is the legacy one-shot surface: a hand-built plan run
+// on a throwaway single-query pool. New code should Open a DB instead.
 func ExampleExecute() {
 	users := &hierdb.Table{
 		Name: "users",
@@ -32,43 +106,6 @@ func ExampleExecute() {
 	}
 	fmt.Println(len(rows), "joined rows")
 	// Output: 3 joined rows
-}
-
-// ExampleExecuteGroupBy aggregates a join result in parallel.
-func ExampleExecuteGroupBy() {
-	items := &hierdb.Table{
-		Name: "items",
-		Cols: []string{"sku", "price"},
-		Rows: []hierdb.Row{{1, 10.0}, {2, 20.0}},
-	}
-	sales := &hierdb.Table{
-		Name: "sales",
-		Cols: []string{"sku"},
-		Rows: []hierdb.Row{{1}, {1}, {2}},
-	}
-	plan := &hierdb.JoinNode{
-		Build:    &hierdb.ScanNode{Table: items},
-		Probe:    &hierdb.ScanNode{Table: sales},
-		BuildKey: hierdb.KeyCol(0),
-		ProbeKey: hierdb.KeyCol(0),
-	}
-	gb := &hierdb.GroupBy{
-		Key: hierdb.KeyCol(0), // sku
-		Aggs: []hierdb.Aggregation{
-			{Func: hierdb.Count},
-			{Func: hierdb.Sum, Arg: func(r hierdb.Row) float64 { return r[2].(float64) }},
-		},
-	}
-	rows, _, err := hierdb.ExecuteGroupBy(context.Background(), plan, gb, hierdb.EngineOptions{Workers: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, r := range rows {
-		fmt.Printf("sku=%v count=%v revenue=%v\n", r[0], r[1], r[2])
-	}
-	// Output:
-	// sku=1 count=2 revenue=20
-	// sku=2 count=1 revenue=20
 }
 
 // ExampleExecuteDP simulates one generated plan on the paper's machine.

@@ -1,5 +1,6 @@
-// Quickstart: join two in-memory tables with the DP-scheduled parallel
-// hash-join engine.
+// Quickstart: open a resident DB, register two tables, and stream a
+// join built with the fluent query API through the DP-scheduled
+// parallel hash-join engine.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,40 +14,47 @@ import (
 )
 
 func main() {
-	customers := &hierdb.Table{
+	db := hierdb.Open(hierdb.WithWorkers(4))
+	defer db.Close()
+
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	check(db.RegisterTable(&hierdb.Table{
 		Name: "customers",
 		Cols: []string{"id", "name"},
 		Rows: []hierdb.Row{
 			{1, "ada"}, {2, "grace"}, {3, "edsger"}, {4, "barbara"},
 		},
-	}
-	orders := &hierdb.Table{
+	}))
+	check(db.RegisterTable(&hierdb.Table{
 		Name: "orders",
 		Cols: []string{"customer_id", "item"},
 		Rows: []hierdb.Row{
 			{1, "disk"}, {2, "cpu"}, {2, "ram"}, {4, "nic"}, {4, "rack"}, {4, "tape"},
 		},
-	}
+	}))
 
 	// orders JOIN customers ON orders.customer_id = customers.id.
-	// The smaller side builds the hash table; the larger side probes.
-	plan := &hierdb.JoinNode{
-		Build:    &hierdb.ScanNode{Table: customers},
-		Probe:    &hierdb.ScanNode{Table: orders},
-		BuildKey: hierdb.KeyCol(0),
-		ProbeKey: hierdb.KeyCol(0),
-		Combine: func(order, customer hierdb.Row) hierdb.Row {
+	// The receiver is the probe side; the argument builds the hash table.
+	rows, err := db.Scan("orders").
+		Join(db.Scan("customers"), hierdb.KeyCol(0), hierdb.KeyCol(0)).
+		Combine(func(order, customer hierdb.Row) hierdb.Row {
 			return hierdb.Row{customer[1], order[1]}
-		},
-	}
+		}).
+		Run(context.Background())
+	check(err)
+	defer rows.Close()
 
-	rows, stats, err := hierdb.Execute(context.Background(), plan, hierdb.EngineOptions{Workers: 4})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%d order lines:\n", len(rows))
-	for _, r := range rows {
+	fmt.Println("order lines:")
+	for rows.Next() {
+		r := rows.Row()
 		fmt.Printf("  %-8v bought %v\n", r[0], r[1])
 	}
-	fmt.Printf("activations=%d, per-worker=%v\n", stats.Activations, stats.PerWorker)
+	check(rows.Err())
+	stats := rows.Stats()
+	fmt.Printf("rows=%d activations=%d per-worker=%v\n",
+		stats.ResultRows, stats.Activations, stats.PerWorker)
 }

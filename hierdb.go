@@ -12,11 +12,15 @@
 //     per-figure drivers (Fig6..Fig10, Transfer) to regenerate the paper's
 //     evaluation.
 //
-//   - A real-data, in-memory parallel hash-join engine (Execute) whose
-//     scheduler is the paper's DP model on goroutines: self-contained
-//     activations in per-operator queues, any worker may run any operator,
-//     primary-queue affinity, pipeline chains one at a time. Static mode
-//     gives the FP baseline for comparison.
+//   - A real-data, in-memory parallel hash-join engine whose scheduler is
+//     the paper's DP model on goroutines: self-contained activations in
+//     per-operator queues, any worker may run any operator, primary-queue
+//     affinity, pipeline chains one at a time. Open a resident DB, register
+//     tables, and run fluently built queries (Scan/Join/GroupBy) that
+//     stream through Rows — all concurrent queries share the handle's
+//     single worker pool, which balances load across them at execution
+//     time. Static mode gives the FP baseline for comparison; Execute and
+//     ExecuteGroupBy remain as one-shot wrappers over a throwaway pool.
 package hierdb
 
 import (
@@ -208,7 +212,9 @@ type EngineOptions = exec.Options
 type EngineStats = exec.Stats
 
 // Execute runs a real-data plan under the DP scheduler and returns the
-// joined rows.
+// joined rows. It is a one-shot wrapper over a throwaway single-query
+// worker pool; services running concurrent queries should Open a
+// resident DB and use the Scan/Join/GroupBy builder with Run instead.
 func Execute(ctx context.Context, root exec.Node, opt EngineOptions) ([]Row, *EngineStats, error) {
 	return exec.Execute(ctx, root, opt)
 }
@@ -228,7 +234,8 @@ const (
 )
 
 // ExecuteGroupBy runs a real-data plan and folds its output through a
-// parallel partial aggregation, one row per group.
+// parallel partial aggregation, one row per group. Like Execute it is a
+// one-shot wrapper; prefer Query.GroupBy on a resident DB.
 func ExecuteGroupBy(ctx context.Context, root exec.Node, gb *GroupBy, opt EngineOptions) ([]Row, *EngineStats, error) {
 	return exec.ExecuteGroupBy(ctx, root, gb, opt)
 }

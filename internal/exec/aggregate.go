@@ -3,9 +3,10 @@ package exec
 // Aggregation on top of the join pipeline: the decision-support queries
 // that motivate the paper (§1, data-warehouse workloads) end in a group-by
 // over the join result. Aggregation runs as parallel partial aggregation:
-// each worker folds its share of root-probe output into a private hash
-// table, and the partials merge at the end — no extra synchronization on
-// the hot path.
+// each pool worker folds the root-output batches it produced into a
+// private hash table as they stream (no materialized intermediate result,
+// no synchronization on the hot path), and the partials merge once at
+// query retirement.
 
 import (
 	"context"
@@ -64,79 +65,58 @@ type groupState struct {
 	n    int64
 }
 
-// ExecuteGroupBy runs the plan and folds its output through the group-by,
-// returning one row per group ordered deterministically by formatted key.
-func ExecuteGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) ([]Row, *Stats, error) {
+// validateGroupBy checks a group-by description before execution.
+func validateGroupBy(gb *GroupBy) error {
 	if gb == nil || gb.Key == nil {
-		return nil, nil, fmt.Errorf("exec: group-by without key")
+		return fmt.Errorf("exec: group-by without key")
 	}
 	for i, a := range gb.Aggs {
 		if a.Func != Count && a.Arg == nil {
-			return nil, nil, fmt.Errorf("exec: aggregate %d (%v) without Arg", i, a.Func)
+			return fmt.Errorf("exec: aggregate %d (%v) without Arg", i, a.Func)
 		}
 	}
-	rows, stats, err := Execute(ctx, root, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	opt = opt.withDefaults()
+	return nil
+}
 
-	// Parallel partial aggregation over the result shards.
-	shard := (len(rows) + opt.Workers - 1) / opt.Workers
-	partials := make([]map[any]*groupState, opt.Workers)
-	done := make(chan int, opt.Workers)
-	for w := 0; w < opt.Workers; w++ {
-		go func(w int) {
-			defer func() { done <- w }()
-			lo := w * shard
-			if lo >= len(rows) {
-				return
-			}
-			hi := lo + shard
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			m := make(map[any]*groupState)
-			for _, row := range rows[lo:hi] {
-				k := gb.Key(row)
-				g := m[k]
-				if g == nil {
-					g = &groupState{key: k, vals: make([]float64, len(gb.Aggs))}
-					for i, a := range gb.Aggs {
-						switch a.Func {
-						case Min:
-							g.vals[i] = 1e308
-						case Max:
-							g.vals[i] = -1e308
-						}
-					}
-					m[k] = g
-				}
-				g.n++
-				for i, a := range gb.Aggs {
-					switch a.Func {
-					case Count:
-					case Sum:
-						g.vals[i] += a.Arg(row)
-					case Min:
-						if v := a.Arg(row); v < g.vals[i] {
-							g.vals[i] = v
-						}
-					case Max:
-						if v := a.Arg(row); v > g.vals[i] {
-							g.vals[i] = v
-						}
-					}
+// foldGroups folds rows into one worker's private partial.
+func foldGroups(m map[any]*groupState, gb *GroupBy, rows []Row) {
+	for _, row := range rows {
+		k := gb.Key(row)
+		g := m[k]
+		if g == nil {
+			g = &groupState{key: k, vals: make([]float64, len(gb.Aggs))}
+			for i, a := range gb.Aggs {
+				switch a.Func {
+				case Min:
+					g.vals[i] = 1e308
+				case Max:
+					g.vals[i] = -1e308
 				}
 			}
-			partials[w] = m
-		}(w)
+			m[k] = g
+		}
+		g.n++
+		for i, a := range gb.Aggs {
+			switch a.Func {
+			case Count:
+			case Sum:
+				g.vals[i] += a.Arg(row)
+			case Min:
+				if v := a.Arg(row); v < g.vals[i] {
+					g.vals[i] = v
+				}
+			case Max:
+				if v := a.Arg(row); v > g.vals[i] {
+					g.vals[i] = v
+				}
+			}
+		}
 	}
-	for i := 0; i < opt.Workers; i++ {
-		<-done
-	}
+}
 
-	// Merge partials.
+// mergeGroups merges per-worker partials into final output rows, ordered
+// deterministically by formatted key.
+func mergeGroups(partials []map[any]*groupState, gb *GroupBy) []Row {
 	merged := make(map[any]*groupState)
 	for _, m := range partials {
 		for k, g := range m {
@@ -163,7 +143,6 @@ func ExecuteGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) ([
 			}
 		}
 	}
-
 	out := make([]Row, 0, len(merged))
 	for _, g := range merged {
 		row := Row{g.key}
@@ -179,5 +158,14 @@ func ExecuteGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) ([
 	sort.Slice(out, func(i, j int) bool {
 		return fmt.Sprint(out[i][0]) < fmt.Sprint(out[j][0])
 	})
-	return out, stats, nil
+	return out
+}
+
+// ExecuteGroupBy runs the plan and folds its output through the group-by,
+// returning one row per group ordered deterministically by formatted key.
+// Like Execute, it is a thin wrapper over a throwaway single-query pool.
+func ExecuteGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) ([]Row, *Stats, error) {
+	return runOneShot(opt.Workers, func(p *Pool) (*Handle, error) {
+		return p.SubmitGroupBy(ctx, root, gb, opt)
+	})
 }

@@ -117,10 +117,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats reports execution counters.
+// validateFor rejects nonsensical option values with descriptive errors
+// (zero still means "default"), pins Workers to the executing pool's
+// worker count, and fills the remaining defaults.
+func (o Options) validateFor(workers int) (Options, error) {
+	if o.Workers < 0 {
+		return o, fmt.Errorf("exec: negative Workers (%d)", o.Workers)
+	}
+	if o.Stripes < 0 {
+		return o, fmt.Errorf("exec: negative Stripes (%d)", o.Stripes)
+	}
+	if o.Morsel < 0 {
+		return o, fmt.Errorf("exec: negative Morsel (%d)", o.Morsel)
+	}
+	if o.Batch < 0 {
+		return o, fmt.Errorf("exec: negative Batch (%d)", o.Batch)
+	}
+	o.Workers = workers
+	return o.withDefaults(), nil
+}
+
+// Stats reports per-query execution counters. On a shared Pool every
+// in-flight query keeps its own Stats, so accounting stays isolated
+// under concurrent execution.
 type Stats struct {
+	// QueryID identifies the query on its pool (assigned at Submit).
+	QueryID     int64
 	Activations int64
-	ResultRows  int64
+	// ResultRows counts rows delivered as the query's result. For
+	// group-by queries that is one row per group (the aggregation's
+	// output, not the join rows feeding it).
+	ResultRows int64
 	// PerWorker counts activations processed by each worker; the spread
 	// shows load balance.
 	PerWorker []int64
@@ -146,17 +173,37 @@ func (s *Stats) Imbalance() float64 {
 	return maxv / mean
 }
 
-// Execute runs the plan rooted at root and returns the result rows.
+// Execute runs the plan rooted at root on a throwaway single-query pool
+// and returns the materialized result rows. It is a thin compatibility
+// wrapper over Pool/Submit; long-lived callers should hold a Pool (or
+// the hierdb.DB facade) and stream instead.
 func Execute(ctx context.Context, root Node, opt Options) ([]Row, *Stats, error) {
-	opt = opt.withDefaults()
-	if root == nil {
-		return nil, nil, fmt.Errorf("exec: nil plan")
-	}
-	p, err := compile(root)
+	return runOneShot(opt.Workers, func(p *Pool) (*Handle, error) {
+		return p.Submit(ctx, root, opt)
+	})
+}
+
+// runOneShot spins up a throwaway pool, runs one submitted query to
+// completion, and materializes its stream — the shared machinery behind
+// the legacy Execute/ExecuteGroupBy surface.
+func runOneShot(workers int, submit func(*Pool) (*Handle, error)) ([]Row, *Stats, error) {
+	pool, err := NewPool(workers, 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.run(ctx, opt)
+	defer pool.Close()
+	h, err := submit(pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Row
+	for batch := range h.Out() {
+		out = append(out, batch...)
+	}
+	if err := h.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, h.Stats(), nil
 }
 
 // hashKey hashes a comparable key to a stripe index.

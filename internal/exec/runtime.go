@@ -1,12 +1,16 @@
 package exec
 
-// Physical compilation and the worker runtime.
+// Physical compilation and per-query runtime state. The worker loop that
+// drives queries lives in pool.go: a resident Pool owns the worker
+// goroutines, and every in-flight query contributes its operator queues
+// to the shared scheduler.
 
 import (
 	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 type opKind int
@@ -65,8 +69,11 @@ func (p *physical) expand(n Node) (*pop, error) {
 		op.est = v.estimate()
 		return op, nil
 	case *Join:
-		if v.BuildKey == nil || v.ProbeKey == nil {
-			return nil, fmt.Errorf("exec: join without key functions")
+		if v.BuildKey == nil {
+			return nil, fmt.Errorf("exec: join with nil BuildKey")
+		}
+		if v.ProbeKey == nil {
+			return nil, fmt.Errorf("exec: join with nil ProbeKey")
 		}
 		b, err := p.expand(v.Build)
 		if err != nil {
@@ -86,7 +93,7 @@ func (p *physical) expand(n Node) (*pop, error) {
 		prb.est = v.estimate()
 		return prb, nil
 	case nil:
-		return nil, fmt.Errorf("exec: nil node")
+		return nil, fmt.Errorf("exec: nil plan node (missing join input?)")
 	default:
 		return nil, fmt.Errorf("exec: unknown node type %T", n)
 	}
@@ -172,6 +179,7 @@ type opRun struct {
 	op      *pop
 	queues  [][]*activation // one per worker (primary-queue affinity)
 	rr      int             // enqueue round-robin cursor
+	queued  int             // activations across all queues (pick fast path)
 	pending int64           // queued + in-process activations
 	prodEnd bool            // no more input will arrive
 	done    bool
@@ -181,29 +189,69 @@ type opRun struct {
 	locks   []sync.Mutex
 }
 
-type runState struct {
-	p   *physical
-	opt Options
+// query is one in-flight execution on a Pool: a compiled plan, its
+// operator queues and chain cursor, a bounded sink channel streaming
+// result batches, and per-query accounting. All fields below the sync
+// markers are guarded by the pool mutex unless noted.
+type query struct {
+	id   int64
+	pool *Pool
+	p    *physical
+	opt  Options
+	gb   *GroupBy
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ops     []*opRun
-	chain   int // current pipeline chain
-	err     error
-	done    bool
-	waiting int
+	// ctx is done when the caller's context is cancelled, the consumer
+	// closes the result stream, or the query retires.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// sink carries result batches to the consumer; its bound provides
+	// backpressure instead of materializing the full result set. Closed
+	// at retirement.
+	sink chan []Row
+	// finished is closed when the query is fully retired: no worker will
+	// touch it again, err and stats are final.
+	finished chan struct{}
+
+	ops      []*opRun
+	chain    int  // current pipeline chain
+	inflight int  // activations being processed by workers right now
+	anchored int  // workers whose affinity anchor is this query
+	done     bool // all chains completed
+	aborted  bool // cancelled or failed; queues cleared
+	retired  bool // removed from the pool; finalize pending or done
+	err      error
+
+	// parked holds result batches that could not be sent because the
+	// sink was full. While parked is non-empty the pool pauses this
+	// query's production (bounding parked at ~workers batches) and lets
+	// a single flusher worker do the blocking sends, so a stalled
+	// consumer captures at most one worker instead of the whole pool.
+	parked   [][]Row
+	flushing bool // a flusher worker is (or is about to be) draining parked
+
+	// Group-by delivery: once all chains are done, a worker claims the
+	// merge job (merging), folds the partials into final batches, and
+	// parks them — the same flusher machinery then streams them out, so
+	// group-by output gets the identical backpressure/cancellation/Close
+	// guarantees as the streaming path. mergeDone gates retirement.
+	merging   bool
+	mergeDone bool
 
 	// static (FP) assignment: allowed[w] is the operator set of worker w
 	// for the current chain; nil in dynamic mode.
 	allowed []map[*pop]bool
 
-	results [][]Row
 	// arenas holds one row arena per worker: result rows of the default
 	// combine are carved out of large chunks instead of allocated one by
 	// one (the dominant allocation of a probe-heavy plan).
 	arenas []rowArena
-	stats  Stats
-	acts   int64
+	// partials holds per-worker aggregation state when gb != nil; worker
+	// w touches only partials[w].
+	partials []map[any]*groupState
+
+	stats Stats
+	acts  int64
 }
 
 // rowArena bump-allocates row storage from fixed-size chunks. Carved rows
@@ -232,10 +280,18 @@ func (ar *rowArena) concat(a, b Row) Row {
 	return Row(ar.chunk[n:len(ar.chunk):len(ar.chunk)])
 }
 
-func (p *physical) run(ctx context.Context, opt Options) ([]Row, *Stats, error) {
-	rs := &runState{p: p, opt: opt}
-	rs.cond = sync.NewCond(&rs.mu)
-	for _, op := range p.ops {
+func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Context, cancel context.CancelFunc) *query {
+	q := &query{
+		pool:     p,
+		p:        phys,
+		gb:       gb,
+		opt:      opt,
+		ctx:      ctx,
+		cancel:   cancel,
+		sink:     make(chan []Row, 2*opt.Workers),
+		finished: make(chan struct{}),
+	}
+	for _, op := range phys.ops {
 		or := &opRun{op: op, queues: make([][]*activation, opt.Workers)}
 		if op.kind == opBuild {
 			or.stripes = make([]map[any][]Row, opt.Stripes)
@@ -245,75 +301,83 @@ func (p *physical) run(ctx context.Context, opt Options) ([]Row, *Stats, error) 
 			}
 			or.locks = make([]sync.Mutex, opt.Stripes)
 		}
-		rs.ops = append(rs.ops, or)
+		q.ops = append(q.ops, or)
 	}
-	rs.results = make([][]Row, opt.Workers)
-	rs.arenas = make([]rowArena, opt.Workers)
-	rs.stats.PerWorker = make([]int64, opt.Workers)
+	q.arenas = make([]rowArena, opt.Workers)
+	q.stats.PerWorker = make([]int64, opt.Workers)
 	if opt.Static {
-		rs.allowed = make([]map[*pop]bool, opt.Workers)
+		q.allowed = make([]map[*pop]bool, opt.Workers)
 	}
-
-	rs.mu.Lock()
-	rs.startChain(0)
-	rs.mu.Unlock()
-
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rs.worker(ctx, w)
-		}(w)
+	if gb != nil {
+		q.partials = make([]map[any]*groupState, opt.Workers)
 	}
-	wg.Wait()
-	if rs.err != nil {
-		return nil, nil, rs.err
-	}
-	var out []Row
-	for _, rws := range rs.results {
-		out = append(out, rws...)
-	}
-	rs.stats.Activations = rs.acts
-	rs.stats.ResultRows = int64(len(out))
-	return out, &rs.stats, nil
+	return q
 }
 
-// startChain seeds the driver scan's morsels and, in static mode,
+// terminalLocked reports whether the query no longer accepts scheduling.
+func (q *query) terminalLocked() bool { return q.done || q.aborted }
+
+// failLocked aborts the query: queued activations and parked output are
+// dropped so no worker picks from it again, and the query context is
+// cancelled so workers blocked on sink sends release promptly. A done
+// query that has not yet retired (its output still undelivered) can
+// still be failed — only retirement makes the outcome final. Callers
+// hold the pool mutex.
+func (q *query) failLocked(err error) {
+	if q.aborted || q.retired {
+		return
+	}
+	q.aborted = true
+	if err == nil {
+		err = context.Canceled
+	}
+	q.err = err
+	for _, or := range q.ops {
+		for i := range or.queues {
+			or.queues[i] = nil
+		}
+		or.queued = 0
+	}
+	q.parked = nil
+	q.cancel()
+}
+
+// startChainLocked seeds the driver scan's morsels and, in static mode,
 // allocates workers to the chain's operators by estimated cost. Callers
-// hold mu.
-func (rs *runState) startChain(c int) {
-	rs.chain = c
-	chain := rs.p.chains[c]
+// hold the pool mutex.
+func (q *query) startChainLocked(c int) {
+	q.chain = c
+	chain := q.p.chains[c]
 	driver := chain[0]
-	or := rs.ops[driver.id]
+	or := q.ops[driver.id]
 	rows := driver.scan.Table.Rows
-	for lo := 0; lo < len(rows); lo += rs.opt.Morsel {
-		hi := lo + rs.opt.Morsel
+	for lo := 0; lo < len(rows); lo += q.opt.Morsel {
+		hi := lo + q.opt.Morsel
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		rs.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+		q.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
 	}
 	if len(rows) == 0 {
 		// Degenerate input: the scan is born finished.
 		or.prodEnd = true
-		rs.opFinishedLocked(or)
+		q.opFinishedLocked(or)
 		return
 	}
 	or.prodEnd = true
-	if rs.opt.Static {
-		rs.assignStatic(chain)
+	if q.opt.Static {
+		q.assignStatic(chain)
 	}
-	rs.cond.Broadcast()
+	q.pool.cond.Broadcast()
 }
 
 // assignStatic distributes workers over the chain's operators
-// proportionally to estimated cost — the FP baseline. Callers hold mu.
-func (rs *runState) assignStatic(chain []*pop) {
-	w := rs.opt.Workers
-	for i := range rs.allowed {
-		rs.allowed[i] = make(map[*pop]bool)
+// proportionally to estimated cost — the FP baseline. Callers hold the
+// pool mutex.
+func (q *query) assignStatic(chain []*pop) {
+	w := q.opt.Workers
+	for i := range q.allowed {
+		q.allowed[i] = make(map[*pop]bool)
 	}
 	if len(chain) <= w {
 		counts := make([]int, len(chain))
@@ -335,7 +399,7 @@ func (rs *runState) assignStatic(chain []*pop) {
 		wi := 0
 		for i, op := range chain {
 			for j := 0; j < counts[i]; j++ {
-				rs.allowed[wi][op] = true
+				q.allowed[wi][op] = true
 				wi++
 			}
 		}
@@ -361,150 +425,217 @@ func (rs *runState) assignStatic(chain []*pop) {
 			}
 		}
 		loads[best] += chain[oi].est
-		rs.allowed[best][chain[oi]] = true
+		q.allowed[best][chain[oi]] = true
 	}
 }
 
 // enqueueLocked adds an activation to the operator's next queue
-// round-robin. Callers hold mu.
-func (rs *runState) enqueueLocked(or *opRun, a *activation) {
+// round-robin. Callers hold the pool mutex.
+func (q *query) enqueueLocked(or *opRun, a *activation) {
 	or.queues[or.rr] = append(or.queues[or.rr], a)
 	or.rr = (or.rr + 1) % len(or.queues)
+	or.queued++
 	or.pending++
 }
 
-// pick selects the next activation for worker w: downstream operators of
-// the current chain first (draining pipelines bounds memory, playing the
-// role of the paper's flow control), the worker's primary queue before
-// other queues of the same operator. Callers hold mu.
-func (rs *runState) pick(w int) *activation {
-	chain := rs.p.chains[rs.chain]
+// pickLocked selects the next activation of this query for worker w:
+// downstream operators of the current chain first (draining pipelines
+// bounds memory, playing the role of the paper's flow control), the
+// worker's primary queue before other queues of the same operator.
+// Callers hold the pool mutex.
+func (q *query) pickLocked(w int) *activation {
+	chain := q.p.chains[q.chain]
 	for i := len(chain) - 1; i >= 0; i-- {
 		op := chain[i]
-		if rs.allowed != nil && !rs.allowed[w][op] {
+		if q.allowed != nil && !q.allowed[w][op] {
 			continue
 		}
-		or := rs.ops[op.id]
-		if a := rs.popQueue(or, w); a != nil {
+		or := q.ops[op.id]
+		if a := q.popQueue(or, w); a != nil {
 			return a
 		}
 	}
 	return nil
 }
 
-func (rs *runState) popQueue(or *opRun, w int) *activation {
-	if q := or.queues[w]; len(q) > 0 {
-		a := q[len(q)-1]
-		or.queues[w] = q[:len(q)-1]
+func (q *query) popQueue(or *opRun, w int) *activation {
+	if or.queued == 0 {
+		return nil
+	}
+	if qq := or.queues[w]; len(qq) > 0 {
+		a := qq[len(qq)-1]
+		or.queues[w] = qq[:len(qq)-1]
+		or.queued--
 		return a
 	}
 	for i := range or.queues {
-		if q := or.queues[i]; len(q) > 0 {
-			a := q[len(q)-1]
-			or.queues[i] = q[:len(q)-1]
+		if qq := or.queues[i]; len(qq) > 0 {
+			a := qq[len(qq)-1]
+			or.queues[i] = qq[:len(qq)-1]
+			or.queued--
 			return a
 		}
 	}
 	return nil
-}
-
-func (rs *runState) worker(ctx context.Context, w int) {
-	rs.mu.Lock()
-	for {
-		if rs.done || rs.err != nil {
-			rs.mu.Unlock()
-			return
-		}
-		if ctx.Err() != nil {
-			rs.err = ctx.Err()
-			rs.done = true
-			rs.cond.Broadcast()
-			rs.mu.Unlock()
-			return
-		}
-		a := rs.pick(w)
-		if a == nil {
-			rs.waiting++
-			rs.cond.Wait()
-			rs.waiting--
-			continue
-		}
-		rs.mu.Unlock()
-
-		outs, results := rs.process(a, w)
-		atomic.AddInt64(&rs.stats.PerWorker[w], 1)
-		if len(results) > 0 {
-			rs.results[w] = append(rs.results[w], results...)
-		}
-
-		rs.mu.Lock()
-		rs.acts++
-		c := rs.ops[a.op.id]
-		if a.op.consumer != nil {
-			co := rs.ops[a.op.consumer.id]
-			for _, out := range outs {
-				rs.enqueueLocked(co, out)
-			}
-			if len(outs) > 0 {
-				rs.cond.Broadcast()
-			}
-		}
-		c.pending--
-		if c.prodEnd && c.pending == 0 && !c.done {
-			rs.opFinishedLocked(c)
-		}
-	}
 }
 
 // opFinishedLocked marks an operator done, propagates end-of-producer to
 // its consumer, and advances to the next pipeline chain when the current
-// one completes. Callers hold mu.
-func (rs *runState) opFinishedLocked(or *opRun) {
+// one completes. Callers hold the pool mutex.
+func (q *query) opFinishedLocked(or *opRun) {
 	or.done = true
 	if cns := or.op.consumer; cns != nil {
-		co := rs.ops[cns.id]
+		co := q.ops[cns.id]
 		co.prodEnd = true
 		if co.pending == 0 && !co.done {
-			rs.opFinishedLocked(co)
+			q.opFinishedLocked(co)
 			return
 		}
 	}
 	// Advance the chain barrier when every operator of the current chain
 	// is done.
-	chain := rs.p.chains[rs.chain]
+	chain := q.p.chains[q.chain]
 	for _, op := range chain {
-		if !rs.ops[op.id].done {
-			rs.cond.Broadcast()
+		if !q.ops[op.id].done {
+			q.pool.cond.Broadcast()
 			return
 		}
 	}
-	if rs.chain+1 < len(rs.p.chains) {
-		rs.startChain(rs.chain + 1)
+	if q.chain+1 < len(q.p.chains) {
+		q.startChainLocked(q.chain + 1)
 		return
 	}
-	rs.done = true
-	rs.cond.Broadcast()
+	q.done = true
+	q.pool.cond.Broadcast()
+}
+
+// sinkParkDelay is how long a worker waits on a full sink before parking
+// the batch and moving on: long enough that an actively-draining
+// consumer gets the cheap direct channel handoff, short enough that a
+// stalled consumer cannot hold the worker.
+const sinkParkDelay = time.Millisecond
+
+// deliver hands an activation's result rows to the consumer: folded into
+// the worker's private aggregation partial when the query has a group-by,
+// streamed to the bounded sink otherwise. A full sink blocks for at most
+// sinkParkDelay — then the batch is parked on the query, which pauses
+// the query's production at pick time (backpressure) and hands the
+// blocking send to a flusher, freeing this worker for other queries.
+// timer is the calling worker's reusable park timer. Returns false if
+// the query was cancelled before the batch could be delivered. Called
+// without the pool mutex.
+func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
+	if len(results) == 0 {
+		return true
+	}
+	if q.gb != nil {
+		m := q.partials[w]
+		if m == nil {
+			m = make(map[any]*groupState)
+			q.partials[w] = m
+		}
+		foldGroups(m, q.gb, results)
+		return true
+	}
+	select {
+	case q.sink <- results:
+		atomic.AddInt64(&q.stats.ResultRows, int64(len(results)))
+		return true
+	case <-q.ctx.Done():
+		return false
+	default:
+	}
+	t := *timer
+	if t == nil {
+		t = time.NewTimer(sinkParkDelay)
+		*timer = t
+	} else {
+		t.Reset(sinkParkDelay)
+	}
+	select {
+	case q.sink <- results:
+		stopParkTimer(t)
+		atomic.AddInt64(&q.stats.ResultRows, int64(len(results)))
+		return true
+	case <-q.ctx.Done():
+		stopParkTimer(t)
+		return false
+	case <-t.C:
+		p := q.pool
+		p.mu.Lock()
+		q.parked = append(q.parked, results)
+		p.mu.Unlock()
+		return true
+	}
+}
+
+// stopParkTimer stops a park timer, draining its channel if it already
+// fired, so the next Reset starts clean.
+func stopParkTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// finalize completes retirement: seals stats, closes the sink and the
+// finished channel, and releases the admission slot. All output —
+// including merged group-by batches — has already been delivered (or
+// dropped by an abort) before retirement, so finalize never blocks.
+// Called exactly once, by whoever retired the query, without the pool
+// mutex.
+func (q *query) finalize() {
+	q.stats.Activations = q.acts
+	close(q.sink)
+	close(q.finished)
+	q.cancel()
+	if q.pool.sem != nil {
+		<-q.pool.sem
+	}
+}
+
+// watch aborts the query when its context is cancelled (caller cancel or
+// Rows.Close) before it retires on its own. This is what makes
+// cancellation prompt even when every worker is parked.
+func (q *query) watch() {
+	select {
+	case <-q.ctx.Done():
+		q.pool.abort(q, q.ctx.Err())
+	case <-q.finished:
+	}
 }
 
 // process executes one activation outside the scheduler lock. It returns
 // downstream batches and, for the root operator, result rows.
-func (rs *runState) process(a *activation, w int) (outs []*activation, results []Row) {
+func (q *query) process(a *activation, w int) (outs []*activation, results []Row) {
 	emit := func(consumer *pop, batch []Row) {
 		outs = append(outs, &activation{op: consumer, rows: batch})
 	}
 	switch a.op.kind {
 	case opScan:
 		s := a.op.scan
+		if a.op.consumer == nil {
+			// Root scan: filtered rows are the result.
+			for _, row := range s.Table.Rows[a.lo:a.hi] {
+				if s.Filter != nil && !s.Filter(row) {
+					continue
+				}
+				results = append(results, row)
+			}
+			break
+		}
 		var batch []Row
 		for _, row := range s.Table.Rows[a.lo:a.hi] {
 			if s.Filter != nil && !s.Filter(row) {
 				continue
 			}
 			if batch == nil {
-				batch = make([]Row, 0, rs.opt.Batch)
+				batch = make([]Row, 0, q.opt.Batch)
 			}
 			batch = append(batch, row)
-			if len(batch) >= rs.opt.Batch {
+			if len(batch) >= q.opt.Batch {
 				emit(a.op.consumer, batch)
 				batch = nil
 			}
@@ -513,25 +644,25 @@ func (rs *runState) process(a *activation, w int) (outs []*activation, results [
 			emit(a.op.consumer, batch)
 		}
 	case opBuild:
-		or := rs.ops[a.op.id]
+		or := q.ops[a.op.id]
 		key := a.op.join.BuildKey
 		for _, row := range a.rows {
 			k := key(row)
-			s := hashKey(k, rs.opt.Stripes)
+			s := hashKey(k, q.opt.Stripes)
 			or.locks[s].Lock()
 			or.stripes[s][k] = append(or.stripes[s][k], row)
 			or.locks[s].Unlock()
 		}
 	case opProbe:
-		bo := rs.ops[a.op.partner.id]
+		bo := q.ops[a.op.partner.id]
 		key := a.op.join.ProbeKey
 		combine := a.op.join.Combine
-		arena := &rs.arenas[w]
-		isRoot := a.op == rs.p.root
+		arena := &q.arenas[w]
+		isRoot := a.op == q.p.root
 		var batch []Row
 		for _, row := range a.rows {
 			k := key(row)
-			s := hashKey(k, rs.opt.Stripes)
+			s := hashKey(k, q.opt.Stripes)
 			for _, b := range bo.stripes[s][k] {
 				var out Row
 				if combine != nil {
@@ -544,10 +675,10 @@ func (rs *runState) process(a *activation, w int) (outs []*activation, results [
 					continue
 				}
 				if batch == nil {
-					batch = make([]Row, 0, rs.opt.Batch)
+					batch = make([]Row, 0, q.opt.Batch)
 				}
 				batch = append(batch, out)
-				if len(batch) >= rs.opt.Batch {
+				if len(batch) >= q.opt.Batch {
 					emit(a.op.consumer, batch)
 					batch = nil
 				}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cancelPlan is a join with a large build side, so cancellation lands
+// mid-build: the heaviest, most activation-dense part of an execution.
+func cancelPlan(rows int) Node {
+	big := tbl("big", rows, func(i int) any { return i }, func(i int) any { return i })
+	return &Join{
+		Build:    &Scan{Table: big},
+		Probe:    &Scan{Table: big},
+		BuildKey: KeyCol(0),
+		ProbeKey: KeyCol(0),
+	}
+}
+
+// settleGoroutines polls until the goroutine count returns to within
+// slack of base (worker pools wind down asynchronously after Close).
+func settleGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPromptCancellation cancels mid-join and requires Execute to return
+// within a bounded wall-clock time with ctx.Err(), workers fully drained,
+// for both the DP and Static modes.
+func TestPromptCancellation(t *testing.T) {
+	plan := cancelPlan(1_000_000) // built outside the timed window
+	for _, mode := range []struct {
+		name   string
+		static bool
+	}{{"DP", false}, {"Static", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(5 * time.Millisecond) // land mid-build
+				cancel()
+			}()
+			start := time.Now()
+			_, _, err := Execute(ctx, plan, Options{Workers: 4, Static: mode.static})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled Execute returned %v", err)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancellation took %v", elapsed)
+			}
+			settleGoroutines(t, base, 2)
+		})
+	}
+}
+
+// TestStreamCancelMidIteration cancels while the consumer is mid-stream
+// on a resident pool: the stream must close promptly with ctx.Err() and
+// the pool must stay healthy for the next query.
+func TestStreamCancelMidIteration(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		static bool
+	}{{"DP", false}, {"Static", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			pool, err := NewPool(4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			h, err := pool.Submit(ctx, cancelPlan(500_000), Options{Static: mode.static})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Read one batch, then cancel mid-stream.
+			<-h.Out()
+			cancel()
+			start := time.Now()
+			for range h.Out() {
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("stream drain after cancel took %v", elapsed)
+			}
+			if err := h.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled stream reported %v", err)
+			}
+			// Pool-idle check: a fresh query on the same pool completes.
+			h2, err := pool.Submit(context.Background(), cancelPlan(1000), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for batch := range h2.Out() {
+				n += len(batch)
+			}
+			if err := h2.Err(); err != nil || n != 1000 {
+				t.Fatalf("post-cancel query: %d rows, err %v", n, err)
+			}
+		})
+	}
+}
+
+// TestStreamsBeforeCompletion proves Rows streams rather than
+// materializes: with a bounded sink far smaller than the result, the
+// first batch must arrive while the query is still in flight.
+func TestStreamsBeforeCompletion(t *testing.T) {
+	pool, err := NewPool(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// ~200k result rows -> ~800 batches of 256, far beyond the sink's
+	// 2*workers bound: the producer cannot run ahead of the consumer.
+	h, err := pool.Submit(context.Background(), cancelPlan(200_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := <-h.Out()
+	if !ok || len(first) == 0 {
+		t.Fatal("no first batch")
+	}
+	select {
+	case <-h.Done():
+		t.Fatal("query already retired when the first batch arrived: result was materialized, not streamed")
+	default:
+	}
+	n := len(first)
+	for batch := range h.Out() {
+		n += len(batch)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200_000 {
+		t.Fatalf("streamed %d rows, want 200000", n)
+	}
+}
+
+// TestStreamingSinkAllocBound is the streaming-sink alloc gate (run by
+// CI): delivering a row through the bounded sink must stay cheap —
+// arena-carved rows, batch-granular channel traffic, no per-row boxing
+// and no full-result materialization on the engine side.
+func TestStreamingSinkAllocBound(t *testing.T) {
+	pool, err := NewPool(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Small build side, large probe: the run is dominated by streaming
+	// result rows, not by hash-table construction.
+	const rows = 100_000
+	build := tbl("b", 1000, func(i int) any { return i }, func(i int) any { return i })
+	probe := tbl("p", rows, func(i int) any { return i % 1000 }, func(i int) any { return i })
+	plan := Node(&Join{
+		Build:    &Scan{Table: build},
+		Probe:    &Scan{Table: probe},
+		BuildKey: KeyCol(0),
+		ProbeKey: KeyCol(0),
+	})
+	avg := testing.AllocsPerRun(3, func() {
+		h, err := pool.Submit(context.Background(), plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for batch := range h.Out() {
+			n += len(batch)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != rows {
+			t.Fatalf("streamed %d rows", n)
+		}
+	})
+	if perRow := avg / rows; perRow > 0.5 {
+		t.Fatalf("sink path allocates %.2f allocs/row (avg %.0f total), want <= 0.5", perRow, avg)
+	}
+}

@@ -1,0 +1,184 @@
+package hierdb
+
+// Fluent query building over a DB's catalog. A Query is a logical plan
+// under construction; building never panics — malformed steps (unknown
+// table, nil key, GroupBy in the middle) record an error that Run
+// returns. Build methods return new Query values, so intermediates are
+// freely reusable as inputs to several queries.
+
+import (
+	"context"
+	"fmt"
+
+	"hierdb/internal/exec"
+)
+
+// Query is a logical plan under construction, bound to a DB. Execute it
+// with Run (streaming) or Collect (materialized).
+type Query struct {
+	db   *DB
+	node exec.Node
+	top  *exec.Join // join introduced by this builder step, for Combine/Selectivity
+	gb   *exec.GroupBy
+	err  error
+}
+
+// Scan starts a query reading a registered table, optionally with one
+// filter predicate.
+func (db *DB) Scan(table string, filter ...func(Row) bool) *Query {
+	q := &Query{db: db}
+	if db.err != nil {
+		q.err = db.err
+		return q
+	}
+	if len(filter) > 1 {
+		q.err = fmt.Errorf("hierdb: Scan takes at most one filter (got %d)", len(filter))
+		return q
+	}
+	db.mu.RLock()
+	t, ok := db.tables[table]
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		q.err = fmt.Errorf("hierdb: database closed")
+		return q
+	}
+	if !ok {
+		q.err = fmt.Errorf("hierdb: table %q not registered", table)
+		return q
+	}
+	s := &exec.Scan{Table: t}
+	if len(filter) == 1 {
+		s.Filter = filter[0]
+	}
+	q.node = s
+	return q
+}
+
+// Join hash-joins the receiver (probe side, streamed) with build
+// (materialized into a striped hash table) on probeKey = buildKey.
+// Output rows are probe columns then build columns unless Combine is
+// set on the result.
+func (q *Query) Join(build *Query, probeKey, buildKey KeyFunc) *Query {
+	out := &Query{db: q.db}
+	switch {
+	case q.err != nil:
+		out.err = q.err
+	case build == nil:
+		out.err = fmt.Errorf("hierdb: Join with nil build query")
+	case build.err != nil:
+		out.err = build.err
+	case build.db != q.db:
+		out.err = fmt.Errorf("hierdb: Join across different DB handles")
+	case q.gb != nil || build.gb != nil:
+		out.err = fmt.Errorf("hierdb: GroupBy must be the final step of a query")
+	case probeKey == nil:
+		out.err = fmt.Errorf("hierdb: Join with nil probe KeyFunc")
+	case buildKey == nil:
+		out.err = fmt.Errorf("hierdb: Join with nil build KeyFunc")
+	default:
+		j := &exec.Join{Build: build.node, Probe: q.node, BuildKey: buildKey, ProbeKey: probeKey}
+		out.node, out.top = j, j
+	}
+	return out
+}
+
+// Combine sets the output-row merger of the join introduced by the
+// immediately preceding Join step (default: probe then build columns).
+// The join node is cloned, so the receiver — and any query already
+// running over it — is unaffected.
+func (q *Query) Combine(fn func(probe, build Row) Row) *Query {
+	return q.withTop(func(j *exec.Join) { j.Combine = fn }, "Combine")
+}
+
+// Selectivity hints the output-to-input ratio of the join introduced by
+// the immediately preceding Join step, for scheduling estimates. Like
+// Combine it clones the join node rather than mutating the receiver.
+func (q *Query) Selectivity(s float64) *Query {
+	return q.withTop(func(j *exec.Join) { j.Selectivity = s }, "Selectivity")
+}
+
+func (q *Query) withTop(set func(*exec.Join), step string) *Query {
+	out := &Query{db: q.db, err: q.err}
+	if out.err != nil {
+		return out
+	}
+	if q.top == nil {
+		out.err = fmt.Errorf("hierdb: %s without a preceding Join", step)
+		return out
+	}
+	j := *q.top
+	set(&j)
+	out.node, out.top = &j, &j
+	return out
+}
+
+// GroupBy folds the query's output through a grouped aggregation; output
+// rows are [key, agg0, agg1, ...] ordered deterministically by formatted
+// key. It must be the final builder step.
+func (q *Query) GroupBy(key KeyFunc, aggs ...Aggregation) *Query {
+	out := &Query{db: q.db, node: q.node}
+	switch {
+	case q.err != nil:
+		out.err = q.err
+	case q.gb != nil:
+		out.err = fmt.Errorf("hierdb: GroupBy applied twice")
+	case key == nil:
+		out.err = fmt.Errorf("hierdb: GroupBy with nil KeyFunc")
+	default:
+		out.gb = &exec.GroupBy{Key: key, Aggs: aggs}
+	}
+	return out
+}
+
+// Run submits the query to the DB's resident pool and returns a
+// streaming Rows. The query executes concurrently with any other
+// in-flight queries on the handle; result batches flow through a bounded
+// sink, so iterate promptly or Close to release the workers.
+func (q *Query) Run(ctx context.Context) (*Rows, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.db == nil {
+		return nil, fmt.Errorf("hierdb: query without a DB")
+	}
+	if q.db.err != nil {
+		return nil, q.db.err
+	}
+	q.db.mu.RLock()
+	closed := q.db.closed
+	q.db.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("hierdb: database closed")
+	}
+	if q.node == nil {
+		return nil, fmt.Errorf("hierdb: empty query")
+	}
+	var (
+		h   *exec.Handle
+		err error
+	)
+	if q.gb != nil {
+		h, err = q.db.pool.SubmitGroupBy(ctx, q.node, q.gb, q.db.opt)
+	} else {
+		h, err = q.db.pool.Submit(ctx, q.node, q.db.opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{h: h}, nil
+}
+
+// Collect runs the query and materializes every result row — a
+// convenience for small results; prefer Run for large ones.
+func (q *Query) Collect(ctx context.Context) ([]Row, *EngineStats, error) {
+	rows, err := q.Run(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := rows.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rows.Stats(), nil
+}

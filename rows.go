@@ -1,0 +1,102 @@
+package hierdb
+
+// Streaming result iteration. Rows is fed by the engine's bounded sink:
+// workers block when the consumer lags (backpressure), so a result set
+// is never materialized unless the caller asks for it with Collect.
+
+import "hierdb/internal/exec"
+
+// Rows streams a running query's results:
+//
+//	rows, err := q.Run(ctx)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Row())
+//	}
+//	err = rows.Err()
+//
+// Rows is not safe for concurrent use. Abandoning an un-Closed,
+// partially consumed Rows blocks the pool workers feeding it — always
+// drain it or Close.
+type Rows struct {
+	h      *exec.Handle
+	batch  []Row
+	i      int
+	cur    Row
+	err    error
+	closed bool
+}
+
+// Next advances to the next row, blocking for the engine as needed. It
+// returns false at end of stream, on query error, or after Close; check
+// Err to tell the first two apart.
+func (r *Rows) Next() bool {
+	if r.closed {
+		return false
+	}
+	for {
+		if r.i < len(r.batch) {
+			r.cur = r.batch[r.i]
+			r.i++
+			return true
+		}
+		batch, ok := <-r.h.Out()
+		if !ok {
+			if r.err == nil {
+				r.err = r.h.Err()
+			}
+			return false
+		}
+		r.batch, r.i = batch, 0
+	}
+}
+
+// Row returns the current row. Valid after a true Next until the next
+// call; the engine does not reuse row storage, so retaining rows is safe.
+func (r *Rows) Row() Row { return r.cur }
+
+// Err returns the query's terminal error once Next has returned false
+// (nil on clean completion or when iteration was ended by Close).
+func (r *Rows) Err() error { return r.err }
+
+// Close cancels the query if it is still running, drains the stream so
+// the pool's workers release promptly, and returns any error already
+// observed by Next. Idempotent; safe after full iteration.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.batch, r.i = nil, 0
+	r.h.Cancel()
+	for range r.h.Out() {
+	}
+	return r.err
+}
+
+// Collect drains the remaining stream into a slice, batch-wise.
+func (r *Rows) Collect() ([]Row, error) {
+	var out []Row
+	if !r.closed {
+		if r.i < len(r.batch) {
+			out = append(out, r.batch[r.i:]...)
+			r.batch, r.i = nil, 0
+		}
+		for batch := range r.h.Out() {
+			out = append(out, batch...)
+		}
+		if r.err == nil {
+			r.err = r.h.Err()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+// Stats returns the query's per-query counters (activation counts,
+// per-worker load on the shared pool, result rows). It blocks until the
+// query retires, so call it after iteration completes or after Close.
+func (r *Rows) Stats() *EngineStats { return r.h.Stats() }
