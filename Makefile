@@ -1,0 +1,48 @@
+# Mirrors .github/workflows/ci.yml so contributors can run the exact CI
+# gates locally: `make ci` is the whole pipeline, individual targets run
+# one job. staticcheck/govulncheck run when installed and are skipped
+# with a hint otherwise (CI always runs them).
+
+GO        ?= go
+BENCH_OUT ?= bench.txt
+FRESH     ?= bench-fresh.json
+
+# pipefail so `go test ... | tee` fails the target when the tests fail.
+SHELL       := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: ci lint test determinism bench benchdiff clean
+
+ci: lint test determinism benchdiff
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+
+test:
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run 'ZeroAlloc|Amortized|AllocBound' -v ./internal/simtime/ ./internal/core/ ./internal/exec/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+determinism:
+	@set -e; for p in 1 2 8; do for g in 1 4; do \
+		echo "== -parallel $$p GOMAXPROCS=$$g"; \
+		GOMAXPROCS=$$g $(GO) test -count=1 -run TestFigureDeterminismAcrossParallelism -parallel $$p ./internal/experiments/; \
+	done; done
+
+bench:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/simtime/; \
+	  $(GO) test -run '^$$' -bench 'Churn|MultiNode' -benchmem ./internal/core/; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFig6$$|BenchmarkEngineJoinDP$$|ConcurrentQueries|StreamingSink|MultiNodeSkew' -benchtime 10x -benchmem .; \
+	} | tee $(BENCH_OUT)
+
+benchdiff: bench
+	$(GO) run ./cmd/benchdiff -baseline BENCH_kernel.json -baseline BENCH_engine.json -in $(BENCH_OUT) -out $(FRESH)
+
+clean:
+	rm -f $(BENCH_OUT) $(FRESH) *.test *.prof *.pprof

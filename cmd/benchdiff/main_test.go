@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: hierdb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelDelay-4        	78090435	        14.03 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMultiNodeSkew/steal-4	      20	  32868772 ns/op	   3650936 rows/s	        22.40 steals/op	20037969 B/op	    8433 allocs/op
+BenchmarkMultiNodeSkew/steal-4	      20	  30000000 ns/op	   3650936 rows/s	        21.00 steals/op	20037969 B/op	    8500 allocs/op
+PASS
+ok  	hierdb	1.745s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	kd := got["BenchmarkKernelDelay"]
+	if kd == nil || kd.NsOp != 14.03 || kd.AllocsOp != 0 {
+		t.Fatalf("KernelDelay parsed as %+v", kd)
+	}
+	ms := got["BenchmarkMultiNodeSkew/steal"]
+	if ms == nil {
+		t.Fatal("sub-benchmark name not parsed")
+	}
+	// Repeated runs keep the minimum of each quantity independently.
+	if ms.NsOp != 30000000 || ms.AllocsOp != 8433 {
+		t.Fatalf("merged repeat = %+v, want min ns 3e7 and min allocs 8433", ms)
+	}
+	// Custom metrics come wholesale from the fastest (min ns/op) run —
+	// the second one here.
+	if ms.Metrics["rows/s"] != 3650936 || ms.Metrics["steals/op"] != 21 {
+		t.Fatalf("custom metrics should follow the fastest run: %v", ms.Metrics)
+	}
+}
+
+func TestLoadBaselinesBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	kernel := filepath.Join(dir, "kernel.json")
+	engine := filepath.Join(dir, "engine.json")
+	os.WriteFile(kernel, []byte(`{"benchmarks": {
+		"BenchmarkKernelDelay": {"before": {"ns_op": 599, "allocs_op": 2}, "after": {"ns_op": 14, "allocs_op": 0}}
+	}}`), 0o644)
+	os.WriteFile(engine, []byte(`{"benchmarks": {
+		"BenchmarkMultiNodeSkew/steal": {"baseline": {"ns_op": 32868772, "allocs_op": 8433}}
+	}}`), 0o644)
+	base, err := loadBaselines([]string{kernel, engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := base["BenchmarkKernelDelay"]; b.NsOp != 14 || b.AllocsOp != 0 {
+		t.Fatalf("kernel baseline gates against %+v, want the after numbers", b)
+	}
+	if b := base["BenchmarkMultiNodeSkew/steal"]; b.NsOp != 32868772 {
+		t.Fatalf("engine baseline = %+v", b)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]baseline{
+		"BenchmarkA":    {NsOp: 1000, AllocsOp: 100},
+		"BenchmarkZero": {NsOp: 10, AllocsOp: 0},
+		"BenchmarkGone": {NsOp: 10, AllocsOp: 1},
+	}
+	fresh := map[string]*benchResult{
+		"BenchmarkA":    {NsOp: 1249, AllocsOp: 125}, // within ±25%
+		"BenchmarkZero": {NsOp: 9, AllocsOp: 0},
+	}
+	probs := compare(base, fresh, 0.25, false)
+	if len(probs) != 1 || !strings.Contains(probs[0], "BenchmarkGone") {
+		t.Fatalf("want only the missing-benchmark failure, got %v", probs)
+	}
+	if probs := compare(base, fresh, 0.25, true); len(probs) != 0 {
+		t.Fatalf("skip-missing still failed: %v", probs)
+	}
+
+	// ns/op and allocs/op regressions beyond tolerance fail; a zero-alloc
+	// baseline fails on any allocation at all.
+	fresh["BenchmarkA"].NsOp = 1300
+	fresh["BenchmarkZero"].AllocsOp = 1
+	probs = compare(base, fresh, 0.25, true)
+	if len(probs) != 2 {
+		t.Fatalf("want ns and zero-alloc regressions, got %v", probs)
+	}
+	if !strings.Contains(probs[0], "ns/op regressed") || !strings.Contains(probs[1], "allocs/op regressed") {
+		t.Fatalf("unexpected problems: %v", probs)
+	}
+
+	// Improvements never fail.
+	fresh["BenchmarkA"] = &benchResult{NsOp: 10, AllocsOp: 1}
+	fresh["BenchmarkZero"] = &benchResult{NsOp: 1, AllocsOp: 0}
+	if probs := compare(base, fresh, 0.25, true); len(probs) != 0 {
+		t.Fatalf("improvement flagged: %v", probs)
+	}
+
+	// A per-entry tolerance overrides the global one (scheduling-
+	// dependent benchmarks like the multi-node steal run).
+	base["BenchmarkWide"] = baseline{NsOp: 100, AllocsOp: 100, Tolerance: 1.0}
+	fresh["BenchmarkWide"] = &benchResult{NsOp: 199, AllocsOp: 190}
+	if probs := compare(base, fresh, 0.25, true); len(probs) != 0 {
+		t.Fatalf("per-entry tolerance not applied: %v", probs)
+	}
+	fresh["BenchmarkWide"].AllocsOp = 201
+	if probs := compare(base, fresh, 0.25, true); len(probs) != 1 {
+		t.Fatalf("per-entry tolerance too lax: %v", probs)
+	}
+}

@@ -1,10 +1,13 @@
 package hierdb
 
-// The resident database handle: a named-table catalog plus one
-// long-lived DP worker pool whose workers serve activations from every
-// in-flight query. This is the paper's execution model promoted to an
+// The resident database handle: a named-table catalog plus long-lived
+// DP worker pools whose workers serve activations from every in-flight
+// query. This is the paper's execution model promoted to an
 // engine-as-a-service surface — load balances itself across concurrent
-// queries at execution time, not just within one.
+// queries at execution time, not just within one. WithNodes adds the
+// paper's second level: several node-local pools over hash-partitioned
+// tables, with starving nodes acquiring remote probe queues (global
+// activation stealing, §3.2/§4).
 
 import (
 	"fmt"
@@ -15,21 +18,39 @@ import (
 
 // dbConfig collects Open-time options.
 type dbConfig struct {
+	nodes   int
 	workers int
 	stripes int
 	morsel  int
 	batch   int
 	maxq    int
 	static  bool
+	noSteal bool
 }
 
 // Option configures a DB at Open time.
 type Option func(*dbConfig)
 
-// WithWorkers sets the resident pool's worker-goroutine count (one per
+// WithNodes sets the number of SM-nodes of the paper's hierarchical
+// architecture: each node gets its own worker pool, tables are
+// hash-partitioned across nodes at registration, and a query executes
+// as per-node plan fragments with key-routed redistribution between
+// operators. 0 or 1 (the default) is exactly the previous single-pool
+// behavior; negative values are rejected, reported by
+// Run/RegisterTable-time validation. See also WithStealing.
+func WithNodes(n int) Option { return func(c *dbConfig) { c.nodes = n } }
+
+// WithWorkers sets the worker-goroutine count per node (one per
 // processor in the paper's model). 0 means the default (4); negative
 // values are rejected, reported by Run/RegisterTable-time validation.
 func WithWorkers(n int) Option { return func(c *dbConfig) { c.workers = n } }
+
+// WithStealing enables or disables the global activation-stealing layer
+// on a multi-node DB (default enabled): a starving node solicits offers
+// from its peers and acquires the best remote probe queue together with
+// the hash-table buckets it needs, cached node-locally so repeated
+// steals are cheap. No effect with a single node.
+func WithStealing(enabled bool) Option { return func(c *dbConfig) { c.noSteal = !enabled } }
 
 // WithStripes sets the per-join hash-table lock-stripe count (the degree
 // of fragmentation). 0 means 8x workers.
@@ -54,17 +75,21 @@ func WithMaxConcurrentQueries(n int) Option { return func(c *dbConfig) { c.maxq 
 
 // DB is a resident database handle. Open one, register tables, build
 // queries with Scan/Join/GroupBy, execute them concurrently with Run —
-// all queries share the handle's single DP worker pool, whose fair
+// all queries share the handle's DP worker pools, whose fair
 // cross-query scheduling keeps one heavy join from starving the others.
-// Close releases the workers, aborting any in-flight queries.
+// With WithNodes(n > 1) the handle is a hierarchical engine: n
+// node-local pools over hash-partitioned tables, queries fanned out as
+// node-local fragments, and a global stealing layer that rebalances
+// probe work between nodes. Close releases the workers, aborting any
+// in-flight queries.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	closed bool
 
-	pool *exec.Pool
-	opt  EngineOptions
-	err  error // deferred Open-time validation error, surfaced by Run
+	eng *exec.Nodes
+	opt EngineOptions
+	err error // deferred Open-time validation error, surfaced by Run
 }
 
 // Open creates a resident DB. Invalid options do not panic: the error is
@@ -78,23 +103,27 @@ func Open(opts ...Option) *DB {
 	db := &DB{
 		tables: make(map[string]*Table),
 		opt: EngineOptions{
-			Stripes: cfg.stripes,
-			Morsel:  cfg.morsel,
-			Batch:   cfg.batch,
-			Static:  cfg.static,
+			Stripes:         cfg.stripes,
+			Morsel:          cfg.morsel,
+			Batch:           cfg.batch,
+			Static:          cfg.static,
+			DisableStealing: cfg.noSteal,
 		},
 	}
-	pool, err := exec.NewPool(cfg.workers, cfg.maxq)
+	eng, err := exec.NewNodes(cfg.nodes, cfg.workers, cfg.maxq)
 	if err != nil {
 		db.err = err
 		return db
 	}
-	db.pool = pool
+	db.eng = eng
 	return db
 }
 
 // RegisterTable adds a named in-memory relation to the catalog. The
-// table's rows must not be mutated while queries over it are in flight.
+// table's rows must not be mutated after registration: a multi-node DB
+// hash-partitions the rows right here, and queries read the partitions
+// — later appends would be silently invisible to them (on a single-node
+// DB the boundary is the first query over the table).
 func (db *DB) RegisterTable(t *Table) error {
 	if t == nil {
 		return fmt.Errorf("hierdb: nil table")
@@ -106,14 +135,21 @@ func (db *DB) RegisterTable(t *Table) error {
 		return db.err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return fmt.Errorf("hierdb: database closed")
 	}
 	if _, dup := db.tables[t.Name]; dup {
+		db.mu.Unlock()
 		return fmt.Errorf("hierdb: table %q already registered", t.Name)
 	}
 	db.tables[t.Name] = t
+	db.mu.Unlock()
+	// Hash-partition the table across the nodes now — outside db.mu, so
+	// a large registration does not stall concurrent queries — and the
+	// first query does not pay the declustering cost (no-op on a single
+	// node).
+	db.eng.Partition(t)
 	return nil
 }
 
@@ -125,15 +161,23 @@ func (db *DB) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// Workers returns the resident pool's worker count.
+// Workers returns the worker count per node.
 func (db *DB) Workers() int {
-	if db.pool == nil {
+	if db.eng == nil {
 		return 0
 	}
-	return db.pool.Workers()
+	return db.eng.Workers()
 }
 
-// Close releases the resident worker pool, aborting in-flight queries
+// Nodes returns the number of SM-nodes (1 unless opened WithNodes).
+func (db *DB) Nodes() int {
+	if db.eng == nil {
+		return 0
+	}
+	return db.eng.NodeCount()
+}
+
+// Close releases every node's worker pool, aborting in-flight queries
 // (their Rows report the abort). Idempotent.
 func (db *DB) Close() error {
 	db.mu.Lock()
@@ -143,8 +187,8 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
-	if db.pool != nil {
-		db.pool.Close()
+	if db.eng != nil {
+		db.eng.Close()
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"hierdb/internal/exec"
 )
 
 func testDB(t *testing.T, opts ...Option) *DB {
@@ -265,6 +267,12 @@ func TestOpenOptionErrorsDeferred(t *testing.T) {
 		!strings.Contains(err.Error(), "negative Workers") {
 		t.Fatalf("Run on invalid DB = %v", err)
 	}
+	bad := Open(WithNodes(-2))
+	defer bad.Close()
+	if _, err := bad.Scan("t").Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "negative Nodes") {
+		t.Fatalf("Run on negative-nodes DB = %v", err)
+	}
 }
 
 func TestRegisterTableErrors(t *testing.T) {
@@ -367,6 +375,103 @@ func TestMaxConcurrentQueriesOption(t *testing.T) {
 	if _, _, err := db.Scan("t", func(r Row) bool { return r[0].(int) < 5 }).Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDBMultiNodeSkewedMatchesSingleNode is the facade acceptance test
+// for the hierarchical engine: a skewed workload on WithNodes(4) must
+// produce exactly the single-node result, with steal counters > 0 in
+// Stats; with WithStealing(false) the same workload reports zero steals
+// and still the same rows.
+func TestDBMultiNodeSkewedMatchesSingleNode(t *testing.T) {
+	const (
+		nodes    = 4
+		stripes  = 32 // per node; global buckets = nodes*stripes
+		dimRows  = 400
+		factRows = 60_000
+	)
+	// All join keys owned by node 0: scans stay balanced (partitioning
+	// is positional) but every probe batch routes to node 0, starving
+	// the other three nodes.
+	hot := skewedKeys(t, nodes, stripes, dimRows)
+	dim := &Table{Name: "dim", Cols: []string{"k", "v"}}
+	for i, k := range hot {
+		dim.Rows = append(dim.Rows, Row{k, fmt.Sprintf("d%d", i)})
+	}
+	fact := &Table{Name: "fact", Cols: []string{"k", "v"}}
+	for i := 0; i < factRows; i++ {
+		fact.Rows = append(fact.Rows, Row{hot[i%dimRows], i})
+	}
+
+	run := func(db *DB) ([]string, *EngineStats) {
+		t.Helper()
+		if err := db.RegisterTable(fact); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.RegisterTable(dim); err != nil {
+			t.Fatal(err)
+		}
+		rows, st, err := db.Scan("fact").Join(db.Scan("dim"), KeyCol(0), KeyCol(0)).
+			Collect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canonRows(rows), st
+	}
+
+	single := Open(WithWorkers(2), WithStripes(stripes))
+	defer single.Close()
+	want, _ := run(single)
+	if len(want) != factRows {
+		t.Fatalf("single-node reference has %d rows, want %d", len(want), factRows)
+	}
+
+	var st *EngineStats
+	var got []string
+	for attempt := 0; attempt < 5; attempt++ {
+		multi := Open(WithNodes(nodes), WithWorkers(2), WithStripes(stripes))
+		got, st = run(multi)
+		multi.Close()
+		if st.Steals > 0 {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("WithNodes(%d): %d rows vs single-node %d", nodes, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs: %s vs %s", i, got[i], want[i])
+		}
+	}
+	if st.Steals == 0 || st.StolenActivations == 0 {
+		t.Fatalf("skewed 4-node workload fired no steals: %+v", st)
+	}
+	if len(st.Nodes) != nodes {
+		t.Fatalf("Stats.Nodes has %d entries, want %d", len(st.Nodes), nodes)
+	}
+
+	noSteal := Open(WithNodes(nodes), WithWorkers(2), WithStripes(stripes), WithStealing(false))
+	defer noSteal.Close()
+	got, st = run(noSteal)
+	if len(got) != len(want) {
+		t.Fatalf("WithStealing(false): %d rows vs %d", len(got), len(want))
+	}
+	if st.Steals != 0 || st.StealRounds != 0 {
+		t.Fatalf("WithStealing(false) still stole: %+v", st)
+	}
+}
+
+// skewedKeys picks count int keys the multi-node engine's routing
+// assigns to node 0 (via the engine's published owner rule).
+func skewedKeys(t testing.TB, nodes, stripes, count int) []int {
+	t.Helper()
+	keys := make([]int, 0, count)
+	for k := 0; len(keys) < count; k++ {
+		if exec.OwnerNode(k, nodes, stripes) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 func TestStaticModeOnDB(t *testing.T) {

@@ -18,8 +18,12 @@
 //     affinity, pipeline chains one at a time. Open a resident DB, register
 //     tables, and run fluently built queries (Scan/Join/GroupBy) that
 //     stream through Rows — all concurrent queries share the handle's
-//     single worker pool, which balances load across them at execution
-//     time. Static mode gives the FP baseline for comparison; Execute and
+//     worker pools, which balance load across them at execution time.
+//     WithNodes makes the handle hierarchical — several node-local pools
+//     over hash-partitioned tables, with the paper's global activation
+//     stealing (starving nodes acquire remote probe queues and cache the
+//     hash-table buckets they ship) balancing load between nodes. Static
+//     mode gives the FP baseline for comparison; Execute and
 //     ExecuteGroupBy remain as one-shot wrappers over a throwaway pool.
 package hierdb
 
@@ -208,8 +212,13 @@ func KeyCol(i int) KeyFunc { return exec.KeyCol(i) }
 // granularity, hash-table striping, Static = FP baseline).
 type EngineOptions = exec.Options
 
-// EngineStats reports per-execution counters, including per-worker load.
+// EngineStats reports per-execution counters, including per-worker load
+// and, on a multi-node DB, per-node breakdowns and steal counters.
 type EngineStats = exec.Stats
+
+// NodeStats is one SM-node's share of a multi-node query's counters
+// (see EngineStats.Nodes).
+type NodeStats = exec.NodeStats
 
 // Execute runs a real-data plan under the DP scheduler and returns the
 // joined rows. It is a one-shot wrapper over a throwaway single-query

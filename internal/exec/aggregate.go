@@ -114,9 +114,10 @@ func foldGroups(m map[any]*groupState, gb *GroupBy, rows []Row) {
 	}
 }
 
-// mergeGroups merges per-worker partials into final output rows, ordered
-// deterministically by formatted key.
-func mergeGroups(partials []map[any]*groupState, gb *GroupBy) []Row {
+// mergePartials folds any number of partial aggregation states into one.
+// The multi-node engine uses it twice: once per node over the node's
+// worker partials, then once at retirement over the per-node results.
+func mergePartials(partials []map[any]*groupState, gb *GroupBy) map[any]*groupState {
 	merged := make(map[any]*groupState)
 	for _, m := range partials {
 		for k, g := range m {
@@ -143,6 +144,18 @@ func mergeGroups(partials []map[any]*groupState, gb *GroupBy) []Row {
 			}
 		}
 	}
+	return merged
+}
+
+// mergeGroups merges per-worker partials into final output rows, ordered
+// deterministically by formatted key.
+func mergeGroups(partials []map[any]*groupState, gb *GroupBy) []Row {
+	return groupsToRows(mergePartials(partials, gb), gb)
+}
+
+// groupsToRows renders merged group states as output rows, ordered
+// deterministically by formatted key.
+func groupsToRows(merged map[any]*groupState, gb *GroupBy) []Row {
 	out := make([]Row, 0, len(merged))
 	for _, g := range merged {
 		row := Row{g.key}

@@ -99,6 +99,11 @@ type Options struct {
 	// Static binds each worker to one operator per pipeline chain (the
 	// FP baseline) instead of the dynamic any-worker-any-operator model.
 	Static bool
+	// DisableStealing turns off the global activation-stealing layer on a
+	// multi-node engine (Nodes opened with more than one node): a
+	// starving node then idles instead of acquiring a remote probe queue.
+	// It has no effect on a single-node engine.
+	DisableStealing bool
 }
 
 func (o Options) withDefaults() Options {
@@ -149,8 +154,52 @@ type Stats struct {
 	// output, not the join rows feeding it).
 	ResultRows int64
 	// PerWorker counts activations processed by each worker; the spread
-	// shows load balance.
+	// shows load balance. On a multi-node engine it is the concatenation
+	// of every node's workers in node order, so Imbalance() still reports
+	// the engine-wide spread.
 	PerWorker []int64
+
+	// Multi-node fields, populated only when the query ran on a Nodes
+	// engine with more than one node (nil/zero otherwise).
+
+	// Nodes breaks the counters down per SM-node.
+	Nodes []NodeStats
+	// StealRounds counts starving episodes (solicitations of offers);
+	// Steals counts the rounds that acquired a remote queue.
+	StealRounds int64
+	Steals      int64
+	// StolenActivations counts probe activations shipped between nodes.
+	StolenActivations int64
+	// StolenBuckets / StolenBucketBytes count hash-table buckets copied
+	// into thieves' node-local caches (a bucket already cached is never
+	// re-shipped, per the stolen-queue cache of §4).
+	StolenBuckets     int64
+	StolenBucketBytes int64
+	// RowsRedistributed counts rows that crossed nodes during normal
+	// pipeline routing (build/probe input redistribution, not steals).
+	RowsRedistributed int64
+}
+
+// NodeStats is one SM-node's share of a multi-node query's counters.
+type NodeStats struct {
+	// Node is the node index on its engine.
+	Node int
+	// Activations counts activations processed by this node's workers.
+	Activations int64
+	// ResultRows counts result rows this node delivered to the sink.
+	ResultRows int64
+	// PerWorker counts activations per worker of this node's pool.
+	PerWorker []int64
+	// RowsShippedIn/RowsShippedOut count pipeline rows this node
+	// received from / routed to other nodes (redistribution traffic).
+	RowsShippedIn  int64
+	RowsShippedOut int64
+	// Steals counts steal rounds this node completed as the thief;
+	// StolenActivations the activations it acquired; StolenBuckets the
+	// hash-table buckets it copied into its local cache doing so.
+	Steals            int64
+	StolenActivations int64
+	StolenBuckets     int64
 }
 
 // Imbalance returns max/mean of PerWorker (1 = perfectly balanced).
@@ -204,6 +253,13 @@ func runOneShot(workers int, submit func(*Pool) (*Handle, error)) ([]Row, *Stats
 		return nil, nil, err
 	}
 	return out, h.Stats(), nil
+}
+
+// OwnerNode reports which node of a (nodes, stripes-per-node) engine
+// owns join key k — the routing rule of the multi-node engine, exposed
+// so tests and benchmarks can construct workloads of known skew.
+func OwnerNode(k any, nodes, stripes int) int {
+	return hashKey(k, nodes*stripes) % nodes
 }
 
 // hashKey hashes a comparable key to a stripe index.

@@ -1,0 +1,679 @@
+package exec
+
+// Multi-node execution: the paper's hierarchical architecture brought to
+// the real-data engine. A Nodes engine owns N node-local worker Pools —
+// each the shared-memory DP scheduler of pool.go — and hash-partitions
+// every table across them. A query fans out as one plan fragment per
+// node: scans read the node's partition, build/probe input batches are
+// routed to the node owning their join key (global bucket
+// g = hash(key) mod nodes*Stripes, owner g mod nodes), and each node
+// schedules its fragment DP-style exactly as a single-node query. The
+// inter-node layer — starving nodes acquiring remote probe queues with
+// their hash-table buckets — lives in globallb.go.
+//
+// Locking: an mquery coordinator carries the query-global operator
+// accounting (pending counts, chain barrier) under its own mutex.
+// Coordinator work may take pool mutexes (mq.mu -> pool.mu), never the
+// reverse; at most one pool mutex is held at a time.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Nodes is a multi-node engine: n node-local worker pools behind one
+// Submit surface. With n == 1 it is exactly a single Pool (every call
+// delegates), so the multi-node machinery costs nothing until a second
+// node exists.
+type Nodes struct {
+	n       int
+	workers int // per node
+	pools   []*Pool
+	sem     chan struct{} // admission slots; nil = unlimited
+
+	mu     sync.Mutex
+	parts  map[*Table][][]Row
+	live   map[*mquery]struct{}
+	nextID int64
+	closed bool
+}
+
+// NewNodes starts a multi-node engine: nodes pools of workers goroutines
+// each (both 0 means the default: 1 node, 4 workers). maxConcurrent
+// bounds in-flight queries across the engine (0 = unlimited).
+func NewNodes(nodes, workers, maxConcurrent int) (*Nodes, error) {
+	if nodes < 0 {
+		return nil, fmt.Errorf("exec: negative Nodes (%d)", nodes)
+	}
+	if nodes == 0 {
+		nodes = 1
+	}
+	if maxConcurrent < 0 {
+		return nil, fmt.Errorf("exec: negative MaxConcurrentQueries (%d)", maxConcurrent)
+	}
+	ns := &Nodes{n: nodes}
+	if nodes == 1 {
+		p, err := NewPool(workers, maxConcurrent)
+		if err != nil {
+			return nil, err
+		}
+		ns.pools = []*Pool{p}
+		ns.workers = p.Workers()
+		return ns, nil
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("exec: negative Workers (%d)", workers)
+	}
+	if workers == 0 {
+		workers = 4
+	}
+	ns.workers = workers
+	ns.parts = make(map[*Table][][]Row)
+	ns.live = make(map[*mquery]struct{})
+	if maxConcurrent > 0 {
+		ns.sem = make(chan struct{}, maxConcurrent)
+	}
+	for i := 0; i < nodes; i++ {
+		p, err := NewPool(workers, 0)
+		if err != nil {
+			for _, q := range ns.pools {
+				q.Close()
+			}
+			return nil, err
+		}
+		ns.pools = append(ns.pools, p)
+	}
+	return ns, nil
+}
+
+// NodeCount returns the number of SM-nodes.
+func (ns *Nodes) NodeCount() int { return ns.n }
+
+// Workers returns the per-node worker count.
+func (ns *Nodes) Workers() int { return ns.workers }
+
+// Partition returns (computing and caching on first use) the engine's
+// hash partition of a table: n slices, row i assigned by a hash of its
+// position, so partitions are balanced regardless of key distribution.
+// The table's rows must not be mutated once partitioned. The cache
+// lives for the engine's lifetime — only registration-time tables (the
+// DB catalog) should go through Partition; query-time partitioning of
+// other tables uses partitionFor, which does not cache.
+func (ns *Nodes) Partition(t *Table) [][]Row {
+	if ns.n == 1 {
+		return [][]Row{t.Rows}
+	}
+	ns.mu.Lock()
+	if p, ok := ns.parts[t]; ok {
+		ns.mu.Unlock()
+		return p
+	}
+	ns.mu.Unlock()
+	// Partition outside the engine mutex — a large table must not stall
+	// concurrent submits. Two racers compute twice; first store wins.
+	p := hashPartition(t.Rows, ns.n)
+	ns.mu.Lock()
+	if prev, ok := ns.parts[t]; ok {
+		p = prev
+	} else {
+		ns.parts[t] = p
+	}
+	ns.mu.Unlock()
+	return p
+}
+
+// partitionFor is the query-time lookup: registered tables hit the
+// cache, transient ones are partitioned per query without caching (an
+// engine-lifetime cache keyed by *Table would otherwise grow without
+// bound for callers submitting plans over throwaway tables).
+func (ns *Nodes) partitionFor(t *Table) [][]Row {
+	ns.mu.Lock()
+	if p, ok := ns.parts[t]; ok {
+		ns.mu.Unlock()
+		return p
+	}
+	ns.mu.Unlock()
+	return hashPartition(t.Rows, ns.n)
+}
+
+func hashPartition(rows []Row, n int) [][]Row {
+	p := make([][]Row, n)
+	per := len(rows)/n + 1
+	for i := range p {
+		p[i] = make([]Row, 0, per)
+	}
+	for i, r := range rows {
+		d := int(mix64(uint64(i)) % uint64(n))
+		p[d] = append(p[d], r)
+	}
+	return p
+}
+
+// Submit compiles and starts a query on the engine; see Pool.Submit.
+// With more than one node the query executes as per-node fragments with
+// key-routed redistribution between operators; results are identical to
+// single-node execution (stream order aside).
+func (ns *Nodes) Submit(ctx context.Context, root Node, opt Options) (*Handle, error) {
+	return ns.submit(ctx, root, nil, opt)
+}
+
+// SubmitGroupBy is Submit with a grouped aggregation folded over the
+// plan's output; see Pool.SubmitGroupBy. On a multi-node engine workers
+// fold node-local partials, each node merges its workers' partials when
+// the plan completes, and the per-node results merge at retirement.
+func (ns *Nodes) SubmitGroupBy(ctx context.Context, root Node, gb *GroupBy, opt Options) (*Handle, error) {
+	if err := validateGroupBy(gb); err != nil {
+		return nil, err
+	}
+	return ns.submit(ctx, root, gb, opt)
+}
+
+func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options) (*Handle, error) {
+	if ns.n == 1 {
+		return ns.pools[0].submit(ctx, root, gb, opt)
+	}
+	opt, err := opt.validateFor(ns.workers)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("exec: nil plan")
+	}
+	phys, err := compile(root)
+	if err != nil {
+		return nil, err
+	}
+	if ns.sem != nil {
+		select {
+		case ns.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	qctx, qcancel := context.WithCancel(ctx)
+	mq := &mquery{
+		nodes:     ns,
+		phys:      phys,
+		gb:        gb,
+		opt:       opt,
+		n:         ns.n,
+		buckets:   ns.n * opt.Stripes,
+		ctx:       qctx,
+		cancel:    qcancel,
+		sink:      make(chan []Row, 2*opt.Workers*ns.n),
+		finished:  make(chan struct{}),
+		scanParts: make(map[int][][]Row),
+		ops:       make([]mop, len(phys.ops)),
+	}
+	for _, op := range phys.ops {
+		if op.kind == opScan {
+			mq.scanParts[op.id] = ns.partitionFor(op.scan.Table)
+		}
+	}
+	if gb != nil {
+		mq.nodeParts = make([]map[any]*groupState, ns.n)
+	}
+	mq.remaining.Store(int64(ns.n))
+	// Fragments are fully built before the query becomes visible in
+	// live: a concurrent Close walks mq.frags without a lock.
+	for i := 0; i < ns.n; i++ {
+		fq := newQuery(ns.pools[i], phys, gb, opt, qctx, qcancel, ns.n, mq.sink)
+		fq.mq = mq
+		fq.node = i
+		mq.frags = append(mq.frags, fq)
+	}
+
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		qcancel()
+		if ns.sem != nil {
+			<-ns.sem
+		}
+		return nil, ErrClosed
+	}
+	mq.id = ns.nextID
+	ns.nextID++
+	mq.stats.QueryID = mq.id
+	ns.live[mq] = struct{}{}
+	ns.mu.Unlock()
+
+	for _, fq := range mq.frags {
+		fq.id = mq.id
+		fq.stats.QueryID = mq.id
+	}
+	// Attach fragments to their pools. A concurrent Close either sees the
+	// query in live (and fails it) or has already closed the pool, in
+	// which case the fragment fails right here.
+	var fin []*query
+	for i, fq := range mq.frags {
+		p := ns.pools[i]
+		p.mu.Lock()
+		if p.closed {
+			fq.failLocked(ErrClosed)
+		} else if !fq.retired {
+			p.queries = append(p.queries, fq)
+		}
+		if p.retireIfDoneLocked(fq) {
+			fin = append(fin, fq)
+		}
+		p.mu.Unlock()
+	}
+	for _, fq := range fin {
+		fq.finalize()
+	}
+	mq.start()
+	go mq.watch()
+	return &Handle{mq: mq}, nil
+}
+
+// release returns a retired query's admission slot and live entry.
+func (ns *Nodes) release(mq *mquery) {
+	ns.mu.Lock()
+	delete(ns.live, mq)
+	ns.mu.Unlock()
+	if ns.sem != nil {
+		<-ns.sem
+	}
+}
+
+// Close aborts in-flight queries with ErrClosed and stops every pool's
+// workers. Idempotent; blocks until all workers exit.
+func (ns *Nodes) Close() {
+	if ns.n == 1 {
+		ns.pools[0].Close()
+		return
+	}
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	ns.closed = true
+	live := make([]*mquery, 0, len(ns.live))
+	for mq := range ns.live {
+		live = append(live, mq)
+	}
+	ns.mu.Unlock()
+	for _, mq := range live {
+		mq.fail(ErrClosed)
+	}
+	for _, p := range ns.pools {
+		p.Close()
+	}
+}
+
+// mop is the coordinator's per-operator accounting: pend counts queued
+// plus in-process activations across all nodes.
+type mop struct {
+	pend    int64
+	prodEnd bool
+	done    bool
+}
+
+// mquery coordinates one multi-node query: per-node fragments, global
+// operator/chain state, the shared result sink, steal bookkeeping and
+// sealed stats. See the package comment at the top of this file for the
+// locking rules.
+type mquery struct {
+	nodes *Nodes
+	id    int64
+	phys  *physical
+	gb    *GroupBy
+	opt   Options
+	n     int
+	// buckets is the global hash-bucket count n*Stripes; a key's owner
+	// node is hashKey(k, buckets) mod n.
+	buckets   int
+	scanParts map[int][][]Row // scan opID -> per-node partition
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	sink     chan []Row
+	finished chan struct{}
+	frags    []*query
+
+	remaining   atomic.Int64 // fragments not yet retired
+	idleThieves atomic.Int64 // fragments parked in stealIdle
+
+	mu      sync.Mutex
+	ops     []mop
+	chain   int
+	done    bool
+	aborted bool
+	err     error
+	merged  int // fragments whose per-node group-by partial is merged
+	// nodeParts holds the per-node merged partial aggregation states.
+	nodeParts []map[any]*groupState
+
+	stats Stats
+}
+
+// start seeds the first chain. Separate from submit so the empty-input
+// cascade (a plan of empty tables completes immediately) is handled.
+func (mq *mquery) start() {
+	var completed bool
+	mq.mu.Lock()
+	if !mq.aborted {
+		completed = mq.startChain(0)
+	}
+	mq.mu.Unlock()
+	if completed {
+		mq.completeFrags()
+	}
+}
+
+// startChain seeds every fragment's driver-scan morsels over its table
+// partition and resets per-chain steal state. Returns true when the
+// cascade completed the whole query (all chains empty). Callers hold
+// mq.mu.
+func (mq *mquery) startChain(c int) bool {
+	mq.chain = c
+	chain := mq.phys.chains[c]
+	driver := chain[0]
+	total := 0
+	for i, fq := range mq.frags {
+		p := mq.nodes.pools[i]
+		p.mu.Lock()
+		fq.chain = c
+		if fq.stealIdle {
+			fq.stealIdle = false
+			mq.idleThieves.Add(-1)
+		}
+		if !fq.aborted {
+			or := fq.ops[driver.id]
+			rows := mq.scanParts[driver.id][i]
+			for lo := 0; lo < len(rows); lo += mq.opt.Morsel {
+				hi := lo + mq.opt.Morsel
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				fq.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+				total++
+			}
+			if fq.allowed != nil {
+				fq.assignStatic(chain)
+			}
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	mo := &mq.ops[driver.id]
+	mo.pend += int64(total)
+	mo.prodEnd = true
+	if total == 0 && !mo.done {
+		return mq.opFinished(driver)
+	}
+	return false
+}
+
+// epilogue is the post-processing bookkeeping of one fragment
+// activation: route output batches to their owner nodes, settle global
+// pending counts, and advance operators/chains. Called by the worker
+// loop without any lock held; the caller still decrements q.inflight
+// and runs the retirement check on its own pool afterwards.
+func (mq *mquery) epilogue(q *query, a *activation, outs []*activation, delivered bool) {
+	if !delivered {
+		mq.fail(q.ctx.Err())
+	}
+	if len(outs) > 0 {
+		consumer := outs[0].op
+		mq.mu.Lock()
+		aborted := mq.aborted
+		if !aborted {
+			mq.ops[consumer.id].pend += int64(len(outs))
+		}
+		mq.mu.Unlock()
+		if !aborted {
+			mq.deliverOuts(q, outs)
+		}
+	}
+	var completed bool
+	mq.mu.Lock()
+	mo := &mq.ops[a.op.id]
+	mo.pend--
+	if !mq.aborted && mo.pend == 0 && mo.prodEnd && !mo.done {
+		completed = mq.opFinished(a.op)
+	}
+	mq.mu.Unlock()
+	if completed {
+		mq.completeFrags()
+	}
+}
+
+// deliverOuts enqueues routed batches on their destination fragments
+// (the redistribution "network" of the hierarchy), waking destination
+// workers and any steal-idle thief whose peers refilled past the wake
+// threshold. Called without locks; pending counts were settled first.
+func (mq *mquery) deliverOuts(src *query, outs []*activation) {
+	op := outs[0].op
+	for d := 0; d < mq.n; d++ {
+		count, rows := 0, 0
+		for _, a := range outs {
+			if a.dest == d {
+				count++
+				rows += len(a.rows)
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		dst := mq.frags[d]
+		p := mq.nodes.pools[d]
+		queued := 0
+		p.mu.Lock()
+		if !dst.aborted {
+			or := dst.ops[op.id]
+			for _, a := range outs {
+				if a.dest == d {
+					dst.enqueueLocked(or, a)
+				}
+			}
+			queued = or.queued
+			if dst.allowed != nil {
+				// Static (FP) mode: targeted signals could wake workers
+				// not allowed to run the consumer — wake everyone.
+				p.cond.Broadcast()
+			} else {
+				p.wakeLocked(count)
+			}
+		}
+		p.mu.Unlock()
+		if d != src.node {
+			atomic.AddInt64(&src.shipOut, int64(rows))
+			atomic.AddInt64(&dst.shipIn, int64(rows))
+		}
+		if queued >= stealWakeThreshold && mq.idleThieves.Load() > 0 {
+			mq.wakeThieves(d)
+		}
+	}
+}
+
+// wakeThieves clears steal-idle marks (set after a failed round) so
+// starving nodes re-solicit offers — the real-engine analogue of the
+// paper's paced starving retries, driven by producers instead of a
+// timer. except is the node whose queue just refilled.
+func (mq *mquery) wakeThieves(except int) {
+	for i, fq := range mq.frags {
+		if i == except {
+			continue
+		}
+		p := mq.nodes.pools[i]
+		p.mu.Lock()
+		if fq.stealIdle {
+			fq.stealIdle = false
+			mq.idleThieves.Add(-1)
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// opFinished marks an operator globally done, cascades end-of-producer
+// to its consumer, and advances the chain barrier; returns true once
+// the last chain completes. Callers hold mq.mu.
+func (mq *mquery) opFinished(op *pop) bool {
+	mq.ops[op.id].done = true
+	if c := op.consumer; c != nil {
+		co := &mq.ops[c.id]
+		co.prodEnd = true
+		if co.pend == 0 && !co.done {
+			return mq.opFinished(c)
+		}
+	}
+	chain := mq.phys.chains[mq.chain]
+	for _, o := range chain {
+		if !mq.ops[o.id].done {
+			return false
+		}
+	}
+	if mq.chain+1 < len(mq.phys.chains) {
+		return mq.startChain(mq.chain + 1)
+	}
+	mq.done = true
+	return true
+}
+
+// completeFrags marks every fragment done and retires the idle ones
+// (fragments still flushing, merging or processing retire from their own
+// pools' worker loops). Called without locks after the last chain
+// completes.
+func (mq *mquery) completeFrags() {
+	for i, fq := range mq.frags {
+		p := mq.nodes.pools[i]
+		p.mu.Lock()
+		fq.done = true
+		fin := p.retireIfDoneLocked(fq)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if fin {
+			fq.finalize()
+		}
+	}
+}
+
+// mergeFragment folds one node's worker partials into the node's
+// partial; the last node to finish additionally merges the per-node
+// partials into the final output batches (returned non-nil), which the
+// worker parks on its fragment for the flusher machinery to stream.
+// Called from the worker loop without locks.
+func (mq *mquery) mergeFragment(q *query) [][]Row {
+	part := mergePartials(q.partials, mq.gb)
+	mq.mu.Lock()
+	mq.nodeParts[q.node] = part
+	mq.merged++
+	last := mq.merged == mq.n
+	var parts []map[any]*groupState
+	if last {
+		parts = mq.nodeParts
+	}
+	mq.mu.Unlock()
+	if !last {
+		return nil
+	}
+	rows := groupsToRows(mergePartials(parts, mq.gb), mq.gb)
+	return batchRows(rows, mq.opt.Batch)
+}
+
+// fail aborts the whole query: every fragment drops its queues and
+// parked output, and the shared context is cancelled so blocked sends
+// release. Idempotent. Called without locks.
+func (mq *mquery) fail(err error) {
+	mq.mu.Lock()
+	// Fully retired queries are immune (mirrors the single-node retired
+	// guard): retirement cancels the shared context, and the watcher's
+	// select may pick ctx.Done over finished.
+	if mq.aborted || mq.remaining.Load() == 0 {
+		mq.mu.Unlock()
+		return
+	}
+	mq.aborted = true
+	if err == nil {
+		err = context.Canceled
+	}
+	mq.err = err
+	mq.mu.Unlock()
+	mq.cancel()
+	for i, fq := range mq.frags {
+		p := mq.nodes.pools[i]
+		p.mu.Lock()
+		fq.failLocked(err)
+		fin := p.retireIfDoneLocked(fq)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if fin {
+			fq.finalize()
+		}
+	}
+}
+
+// watch aborts the query when its context is cancelled (caller cancel or
+// Rows.Close) before it retires on its own.
+func (mq *mquery) watch() {
+	select {
+	case <-mq.ctx.Done():
+		mq.fail(mq.ctx.Err())
+	case <-mq.finished:
+	}
+}
+
+// fragRetired records one fragment's retirement; the last one seals the
+// query: global stats, sink and finished close, slot release. Called
+// without pool locks (the finalize path).
+func (mq *mquery) fragRetired() {
+	if mq.remaining.Add(-1) > 0 {
+		return
+	}
+	mq.mu.Lock()
+	mq.sealStatsLocked()
+	mq.mu.Unlock()
+	close(mq.sink)
+	close(mq.finished)
+	mq.cancel()
+	mq.nodes.release(mq)
+}
+
+// sealStatsLocked aggregates per-fragment counters into the query's
+// final Stats with per-node breakdowns. All fragments have retired, so
+// their counters are quiescent (steal counters stay atomic: a stale
+// steal round may still be unwinding). Callers hold mq.mu.
+func (mq *mquery) sealStatsLocked() {
+	s := &mq.stats
+	s.Nodes = make([]NodeStats, mq.n)
+	for i, fq := range mq.frags {
+		nst := &s.Nodes[i]
+		nst.Node = i
+		nst.Activations = fq.acts
+		nst.ResultRows = atomic.LoadInt64(&fq.stats.ResultRows)
+		nst.PerWorker = append([]int64(nil), fq.stats.PerWorker...)
+		nst.RowsShippedIn = atomic.LoadInt64(&fq.shipIn)
+		nst.RowsShippedOut = atomic.LoadInt64(&fq.shipOut)
+		nst.Steals = atomic.LoadInt64(&fq.steals)
+		nst.StolenActivations = atomic.LoadInt64(&fq.stolenActs)
+		nst.StolenBuckets = atomic.LoadInt64(&fq.stolenBuckets)
+		s.Activations += nst.Activations
+		s.ResultRows += nst.ResultRows
+		s.PerWorker = append(s.PerWorker, nst.PerWorker...)
+		s.StealRounds += atomic.LoadInt64(&fq.stealRounds)
+		s.Steals += nst.Steals
+		s.StolenActivations += nst.StolenActivations
+		s.StolenBuckets += nst.StolenBuckets
+		s.StolenBucketBytes += atomic.LoadInt64(&fq.stolenBucketByte)
+		s.RowsRedistributed += nst.RowsShippedOut
+	}
+}
+
+// batchRows slices rows into Batch-sized result batches.
+func batchRows(rows []Row, size int) [][]Row {
+	var batches [][]Row
+	for lo := 0; lo < len(rows); lo += size {
+		hi := lo + size
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		batches = append(batches, rows[lo:hi])
+	}
+	return batches
+}

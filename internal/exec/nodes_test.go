@@ -1,0 +1,298 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newNodesT builds a Nodes engine and closes it with the test.
+func newNodesT(t *testing.T, nodes, workers int) *Nodes {
+	t.Helper()
+	ns, err := NewNodes(nodes, workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+	return ns
+}
+
+func collectHandle(t *testing.T, h *Handle) []Row {
+	t.Helper()
+	var out []Row
+	for b := range h.Out() {
+		out = append(out, b...)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMultiNodeMatchesSingleNode: the same plans on 1, 2 and 4 nodes
+// must produce identical result sets (stream order aside), including a
+// chained two-join plan whose intermediate rows re-partition on a
+// different key.
+func TestMultiNodeMatchesSingleNode(t *testing.T) {
+	dim := tbl("dim", 700, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("d%d", i) })
+	mid := tbl("mid", 900, func(i int) any { return i % 700 }, func(i int) any { return i * 3 })
+	fact := tbl("fact", 9000, func(i int) any { return i % 700 }, func(i int) any { return i })
+	plans := map[string]func() Node{
+		"join": func() Node {
+			return &Join{Build: &Scan{Table: dim}, Probe: &Scan{Table: fact},
+				BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
+		},
+		"chained": func() Node {
+			inner := &Join{Build: &Scan{Table: dim}, Probe: &Scan{Table: mid},
+				BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
+			// The second join keys on the payload column of mid (i*3),
+			// so intermediate rows route differently than their first
+			// partitioning.
+			return &Join{Build: &Scan{Table: fact, Filter: func(r Row) bool { return r[1].(int)%3 == 0 }},
+				Probe: inner, BuildKey: KeyCol(1), ProbeKey: KeyCol(1)}
+		},
+		"filtered-scan": func() Node {
+			return &Scan{Table: fact, Filter: func(r Row) bool { return r[1].(int)%7 == 0 }}
+		},
+	}
+	for name, mk := range plans {
+		t.Run(name, func(t *testing.T) {
+			want, _, err := Execute(context.Background(), mk(), Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{2, 4} {
+				ns := newNodesT(t, n, 2)
+				h, err := ns.Submit(context.Background(), mk(), Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := collectHandle(t, h)
+				sameRows(t, got, want)
+				st := h.Stats()
+				if len(st.Nodes) != n {
+					t.Fatalf("Stats.Nodes has %d entries, want %d", len(st.Nodes), n)
+				}
+				var acts, rows int64
+				for _, nst := range st.Nodes {
+					acts += nst.Activations
+					rows += nst.ResultRows
+				}
+				if acts != st.Activations || rows != st.ResultRows {
+					t.Fatalf("per-node stats do not sum: %d/%d acts, %d/%d rows",
+						acts, st.Activations, rows, st.ResultRows)
+				}
+				if int(st.ResultRows) != len(want) {
+					t.Fatalf("ResultRows %d, want %d", st.ResultRows, len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestMultiNodeGroupBy: per-node partial merge then global merge must
+// equal the single-node aggregation, deterministically ordered.
+func TestMultiNodeGroupBy(t *testing.T) {
+	dim := tbl("dim", 40, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("g%d", i%6) })
+	fact := tbl("fact", 8000, func(i int) any { return i % 40 }, func(i int) any { return i })
+	mk := func() Node {
+		return &Join{Build: &Scan{Table: dim}, Probe: &Scan{Table: fact},
+			BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
+	}
+	gb := &GroupBy{
+		Key: KeyCol(3), // dim payload g0..g5
+		Aggs: []Aggregation{
+			{Func: Count},
+			{Func: Sum, Arg: func(r Row) float64 { return float64(r[1].(int)) }},
+			{Func: Min, Arg: func(r Row) float64 { return float64(r[1].(int)) }},
+			{Func: Max, Arg: func(r Row) float64 { return float64(r[1].(int)) }},
+		},
+	}
+	want, _, err := ExecuteGroupBy(context.Background(), mk(), gb, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3} {
+		ns := newNodesT(t, n, 2)
+		h, err := ns.SubmitGroupBy(context.Background(), mk(), gb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectHandle(t, h)
+		if len(got) != len(want) {
+			t.Fatalf("%d nodes: %d groups, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("%d nodes: group %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMultiNodeEmptyInputs: empty and sub-node-count tables complete
+// (the empty-chain cascade) with correct results.
+func TestMultiNodeEmptyInputs(t *testing.T) {
+	empty := &Table{Name: "e", Cols: []string{"k"}}
+	tiny := tbl("t", 2, func(i int) any { return i }, func(i int) any { return i })
+	ns := newNodesT(t, 4, 2)
+	h, err := ns.Submit(context.Background(), &Join{
+		Build: &Scan{Table: empty}, Probe: &Scan{Table: tiny},
+		BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectHandle(t, h); len(got) != 0 {
+		t.Fatalf("join against empty build returned %d rows", len(got))
+	}
+	h, err = ns.Submit(context.Background(), &Join{
+		Build: &Scan{Table: tiny}, Probe: &Scan{Table: tiny},
+		BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectHandle(t, h); len(got) != 2 {
+		t.Fatalf("tiny self-join returned %d rows, want 2", len(got))
+	}
+}
+
+// TestMultiNodeCancellation: cancelling mid-stream aborts promptly on
+// every node and the engine serves the next query.
+func TestMultiNodeCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ns := newNodesT(t, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := ns.Submit(ctx, cancelPlan(300_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Out() // first batch, then cancel mid-stream
+	cancel()
+	start := time.Now()
+	for range h.Out() {
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("multi-node drain after cancel took %v", elapsed)
+	}
+	if err := h.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled multi-node query reported %v", err)
+	}
+	// Engine-health check: a fresh query completes.
+	h2, err := ns.Submit(context.Background(), cancelPlan(1000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectHandle(t, h2); len(got) != 1000 {
+		t.Fatalf("post-cancel query returned %d rows", len(got))
+	}
+	settleGoroutines(t, base, 2+2*2) // resident workers stay up
+}
+
+// TestMultiNodeConcurrentQueries: distinct queries in flight on one
+// multi-node engine stay isolated in results and stats (-race leg).
+func TestMultiNodeConcurrentQueries(t *testing.T) {
+	dim := tbl("dim", 200, func(i int) any { return i }, func(i int) any { return i })
+	fact := tbl("fact", 12_000, func(i int) any { return i % 200 }, func(i int) any { return i })
+	ns := newNodesT(t, 2, 2)
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := ns.Submit(context.Background(), &Join{
+				Build:    &Scan{Table: dim},
+				Probe:    &Scan{Table: fact, Filter: func(r Row) bool { return r[1].(int)%n == i }},
+				BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}, Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var rows int
+			for b := range h.Out() {
+				rows += len(b)
+			}
+			if err := h.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			st := h.Stats()
+			if rows != 12_000/n || int(st.ResultRows) != rows {
+				errs[i] = fmt.Errorf("query %d: %d rows, stats %d", i, rows, st.ResultRows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMultiNodeClosePromptly: Close with a query in flight aborts it
+// with ErrClosed and releases all pools' workers.
+func TestMultiNodeClosePromptly(t *testing.T) {
+	ns, err := NewNodes(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ns.Submit(context.Background(), cancelPlan(300_000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.Close()
+	for range h.Out() {
+	}
+	if err := h.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine reported %v", err)
+	}
+	if _, err := ns.Submit(context.Background(), cancelPlan(10), Options{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit on closed engine = %v", err)
+	}
+}
+
+// TestMultiNodeStreamingAllocBound is the multi-node leg of the
+// streaming-sink alloc gate (run by CI): steal-free local execution
+// with key-routed redistribution must stay within the single-node
+// bound of <= 0.5 allocs per streamed row.
+func TestMultiNodeStreamingAllocBound(t *testing.T) {
+	ns, err := NewNodes(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	const rows = 100_000
+	build := tbl("b", 1000, func(i int) any { return i }, func(i int) any { return i })
+	probe := tbl("p", rows, func(i int) any { return i % 1000 }, func(i int) any { return i })
+	plan := Node(&Join{
+		Build:    &Scan{Table: build},
+		Probe:    &Scan{Table: probe},
+		BuildKey: KeyCol(0),
+		ProbeKey: KeyCol(0),
+	})
+	avg := testing.AllocsPerRun(3, func() {
+		h, err := ns.Submit(context.Background(), plan, Options{DisableStealing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for batch := range h.Out() {
+			n += len(batch)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != rows {
+			t.Fatalf("streamed %d rows", n)
+		}
+	})
+	if perRow := avg / rows; perRow > 0.5 {
+		t.Fatalf("multi-node sink path allocates %.2f allocs/row (avg %.0f total), want <= 0.5", perRow, avg)
+	}
+}

@@ -113,7 +113,7 @@ func (p *Pool) submit(ctx context.Context, root Node, gb *GroupBy, opt Options) 
 		}
 	}
 	qctx, qcancel := context.WithCancel(ctx)
-	q := newQuery(p, phys, gb, opt, qctx, qcancel)
+	q := newQuery(p, phys, gb, opt, qctx, qcancel, 1, nil)
 
 	p.mu.Lock()
 	if p.closed {
@@ -346,6 +346,37 @@ func (p *Pool) worker(w int) {
 		}
 		q, a, job := p.pickLocked(w, &anchor)
 		if q == nil {
+			// Node-level starvation: before parking, try acquiring a
+			// remote probe queue for a starving multi-node fragment.
+			if sq := p.stealClaimLocked(); sq != nil {
+				p.mu.Unlock()
+				stole := sq.mq.stealRound(sq)
+				parked := false
+				p.mu.Lock()
+				sq.stealBusy = false
+				if !stole && !sq.stealIdle {
+					// Park further rounds until a producer refills a
+					// peer queue (wakeThieves clears the mark).
+					sq.stealIdle = true
+					sq.mq.idleThieves.Add(1)
+					parked = true
+				}
+				if parked {
+					// Close the lost-wakeup window: a producer crossing
+					// the wake threshold between our failed round and the
+					// idle mark saw idleThieves == 0 and sent no wake.
+					// Re-probe the peers now that the mark is visible;
+					// on backlog, clear it and retry the round.
+					p.mu.Unlock()
+					backlog := sq.mq.peerBacklog(sq)
+					p.mu.Lock()
+					if backlog && sq.stealIdle {
+						sq.stealIdle = false
+						sq.mq.idleThieves.Add(-1)
+					}
+				}
+				continue
+			}
 			p.waiting++
 			p.cond.Wait()
 			p.waiting--
@@ -376,14 +407,13 @@ func (p *Pool) worker(w int) {
 			p.mu.Unlock()
 			// All folds finished before done was set (pending counts hit
 			// zero under the mutex), so reading the partials is safe.
-			rows := mergeGroups(q.partials, q.gb)
 			var batches [][]Row
-			for lo := 0; lo < len(rows); lo += q.opt.Batch {
-				hi := lo + q.opt.Batch
-				if hi > len(rows) {
-					hi = len(rows)
-				}
-				batches = append(batches, rows[lo:hi])
+			if q.mq != nil {
+				// Per-node merge; the last node also merges the
+				// per-node partials and parks the final batches here.
+				batches = q.mq.mergeFragment(q)
+			} else {
+				batches = batchRows(mergeGroups(q.partials, q.gb), q.opt.Batch)
 			}
 			p.mu.Lock()
 			q.merging = false
@@ -408,6 +438,21 @@ func (p *Pool) worker(w int) {
 		outs, results := q.process(a, w)
 		atomic.AddInt64(&q.stats.PerWorker[w], 1)
 		delivered := q.deliver(w, results, &parkTimer)
+
+		if mq := q.mq; mq != nil {
+			// Multi-node fragment: routing and operator/chain accounting
+			// are global, handled by the coordinator without our mutex.
+			mq.epilogue(q, a, outs, delivered)
+			p.mu.Lock()
+			q.inflight--
+			q.acts++
+			if p.retireIfDoneLocked(q) {
+				p.mu.Unlock()
+				q.finalize()
+				p.mu.Lock()
+			}
+			continue
+		}
 
 		p.mu.Lock()
 		q.inflight--
@@ -469,33 +514,60 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// Handle is a running (or finished) query on a Pool.
+// Handle is a running (or finished) query on a Pool or a multi-node
+// Nodes engine (exactly one of q/mq is set).
 type Handle struct {
-	q *query
+	q  *query
+	mq *mquery
 }
 
 // Out is the stream of result batches. It is closed when the query
 // retires (completion, cancellation, or pool close); check Err after.
 // The channel is bounded: an undrained handle eventually blocks the
 // workers feeding it, so consume it fully or Cancel.
-func (h *Handle) Out() <-chan []Row { return h.q.sink }
+func (h *Handle) Out() <-chan []Row {
+	if h.mq != nil {
+		return h.mq.sink
+	}
+	return h.q.sink
+}
 
 // Done is closed when the query has fully retired (Err and Stats final).
-func (h *Handle) Done() <-chan struct{} { return h.q.finished }
+func (h *Handle) Done() <-chan struct{} {
+	if h.mq != nil {
+		return h.mq.finished
+	}
+	return h.q.finished
+}
 
 // Err blocks until the query retires and returns its terminal error
 // (nil on success). A query only retires once its output is delivered:
 // drain Out (or Cancel) first, or Err can block forever behind the
 // bounded sink.
 func (h *Handle) Err() error {
+	if h.mq != nil {
+		<-h.mq.finished
+		return h.mq.err
+	}
 	<-h.q.finished
 	return h.q.err
 }
 
 // Stats blocks until the query retires and returns its per-query
-// counters, including per-worker activation counts on the shared pool.
+// counters, including per-worker activation counts on the shared pool
+// and, for multi-node queries, per-node breakdowns and steal counters.
 // Like Err, call it only after draining Out (or after Cancel).
 func (h *Handle) Stats() *Stats {
+	if h.mq != nil {
+		<-h.mq.finished
+		s := h.mq.stats
+		s.PerWorker = append([]int64(nil), s.PerWorker...)
+		s.Nodes = append([]NodeStats(nil), s.Nodes...)
+		for i := range s.Nodes {
+			s.Nodes[i].PerWorker = append([]int64(nil), s.Nodes[i].PerWorker...)
+		}
+		return &s
+	}
 	<-h.q.finished
 	s := h.q.stats
 	s.PerWorker = append([]int64(nil), h.q.stats.PerWorker...)
@@ -504,4 +576,10 @@ func (h *Handle) Stats() *Stats {
 
 // Cancel aborts the query; Out closes promptly and Err reports the
 // cancellation. Idempotent, safe after completion.
-func (h *Handle) Cancel() { h.q.cancel() }
+func (h *Handle) Cancel() {
+	if h.mq != nil {
+		h.mq.cancel()
+		return
+	}
+	h.q.cancel()
+}

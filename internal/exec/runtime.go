@@ -172,6 +172,9 @@ type activation struct {
 	rows []Row
 	// morsel bounds for scans
 	lo, hi int
+	// dest is the node a routed batch is bound for (multi-node queries
+	// only; scan morsels and single-node batches leave it 0).
+	dest int
 }
 
 // opRun is the runtime state of one operator.
@@ -187,7 +190,20 @@ type opRun struct {
 	// hash table (build/probe pairs share via partner).
 	stripes []map[any][]Row
 	locks   []sync.Mutex
+	// stripeRows counts tuples per stripe (guarded by the stripe lock);
+	// the steal protocol prices bucket shipping with it.
+	stripeRows []int
+
+	// cache holds hash-table buckets acquired from other nodes by the
+	// steal protocol, keyed by global bucket id (probe operators of
+	// multi-node queries only). Copy-on-write: rounds are single-flight
+	// per node, so the only writer swaps the whole map.
+	cache atomic.Pointer[bucketCache]
 }
+
+// bucketCache maps global bucket ids to hash-table buckets copied from
+// their owner node.
+type bucketCache = map[int]map[any][]Row
 
 // query is one in-flight execution on a Pool: a compiled plan, its
 // operator queues and chain cursor, a bounded sink channel streaming
@@ -242,6 +258,23 @@ type query struct {
 	// for the current chain; nil in dynamic mode.
 	allowed []map[*pop]bool
 
+	// Multi-node fragment state. mq links the fragment to its query's
+	// coordinator (nil for single-node queries) and node is the fragment's
+	// node index. done/chain are driven by the coordinator for fragments;
+	// sink/ctx/cancel are shared across the query's fragments.
+	mq   *mquery
+	node int
+	// stealBusy marks a steal round in flight for this fragment (claimed
+	// like flushing); stealIdle parks further rounds after a failed one
+	// until a producer refills a peer queue past the wake threshold. Both
+	// are guarded by the fragment's pool mutex.
+	stealBusy bool
+	stealIdle bool
+	// Per-fragment traffic and steal counters, accessed atomically (a
+	// steal round can race retirement).
+	shipIn, shipOut                                                  int64
+	stealRounds, steals, stolenActs, stolenBuckets, stolenBucketByte int64
+
 	// arenas holds one row arena per worker: result rows of the default
 	// combine are carved out of large chunks instead of allocated one by
 	// one (the dominant allocation of a probe-heavy plan).
@@ -280,26 +313,36 @@ func (ar *rowArena) concat(a, b Row) Row {
 	return Row(ar.chunk[n:len(ar.chunk):len(ar.chunk)])
 }
 
-func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Context, cancel context.CancelFunc) *query {
+// newQuery builds per-query runtime state. nodes is the engine's node
+// count (key routing spreads a build table across nodes, so fragment
+// hash-table presizing divides by it); sink, when non-nil, is a
+// multi-node query's shared result channel — fragments then skip the
+// private sink and finished channels entirely (the coordinator's
+// finished is the one that closes).
+func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Context, cancel context.CancelFunc, nodes int, sink chan []Row) *query {
 	q := &query{
-		pool:     p,
-		p:        phys,
-		gb:       gb,
-		opt:      opt,
-		ctx:      ctx,
-		cancel:   cancel,
-		sink:     make(chan []Row, 2*opt.Workers),
-		finished: make(chan struct{}),
+		pool:   p,
+		p:      phys,
+		gb:     gb,
+		opt:    opt,
+		ctx:    ctx,
+		cancel: cancel,
+		sink:   sink,
+	}
+	if sink == nil {
+		q.sink = make(chan []Row, 2*opt.Workers)
+		q.finished = make(chan struct{})
 	}
 	for _, op := range phys.ops {
 		or := &opRun{op: op, queues: make([][]*activation, opt.Workers)}
 		if op.kind == opBuild {
 			or.stripes = make([]map[any][]Row, opt.Stripes)
-			hint := int(op.est)/opt.Stripes + 1
+			hint := int(op.est)/(opt.Stripes*nodes) + 1
 			for i := range or.stripes {
 				or.stripes[i] = make(map[any][]Row, hint)
 			}
 			or.locks = make([]sync.Mutex, opt.Stripes)
+			or.stripeRows = make([]int, opt.Stripes)
 		}
 		q.ops = append(q.ops, or)
 	}
@@ -585,8 +628,13 @@ func stopParkTimer(t *time.Timer) {
 // including merged group-by batches — has already been delivered (or
 // dropped by an abort) before retirement, so finalize never blocks.
 // Called exactly once, by whoever retired the query, without the pool
-// mutex.
+// mutex. A multi-node fragment instead reports to its coordinator,
+// which closes the shared sink when the last fragment retires.
 func (q *query) finalize() {
+	if q.mq != nil {
+		q.mq.fragRetired()
+		return
+	}
 	q.stats.Activations = q.acts
 	close(q.sink)
 	close(q.finished)
@@ -607,18 +655,104 @@ func (q *query) watch() {
 	}
 }
 
+// consumerKey is the partition key of rows flowing into an operator: a
+// build op receives build-side rows, a probe op probe-side rows. The
+// multi-node router sends each row to the node owning its key.
+func consumerKey(c *pop) KeyFunc {
+	if c.kind == opBuild {
+		return c.join.BuildKey
+	}
+	return c.join.ProbeKey
+}
+
+// scanSrc is the row source of a scan operator: the node's table
+// partition for a multi-node fragment, the whole table otherwise.
+func (q *query) scanSrc(op *pop) []Row {
+	if q.mq != nil {
+		return q.mq.scanParts[op.id][q.node]
+	}
+	return op.scan.Table.Rows
+}
+
+// emitter batches rows bound for a consumer operator into activations.
+// A multi-node fragment routes each row to the fragment of the node
+// owning the row's partition key (one open batch per destination); a
+// single-node query keeps one local batch.
+type emitter struct {
+	q        *query
+	consumer *pop
+	outs     *[]*activation
+	key      KeyFunc // consumer partition key; nil = single-node
+	buckets  int
+	n        int
+	batch    []Row   // single-node open batch
+	batches  [][]Row // multi-node open batch per destination
+}
+
+func (q *query) newEmitter(consumer *pop, outs *[]*activation) emitter {
+	e := emitter{q: q, consumer: consumer, outs: outs}
+	if q.mq != nil {
+		e.key = consumerKey(consumer)
+		e.buckets = q.mq.buckets
+		e.n = q.mq.n
+		e.batches = make([][]Row, e.n)
+	}
+	return e
+}
+
+func (e *emitter) add(row Row) {
+	if e.key == nil {
+		if e.batch == nil {
+			e.batch = make([]Row, 0, e.q.opt.Batch)
+		}
+		e.batch = append(e.batch, row)
+		if len(e.batch) >= e.q.opt.Batch {
+			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: e.batch})
+			e.batch = nil
+		}
+		return
+	}
+	d := hashKey(e.key(row), e.buckets) % e.n
+	b := e.batches[d]
+	if b == nil {
+		b = make([]Row, 0, e.q.opt.Batch)
+	}
+	b = append(b, row)
+	if len(b) >= e.q.opt.Batch {
+		*e.outs = append(*e.outs, &activation{op: e.consumer, rows: b, dest: d})
+		e.batches[d] = nil
+		return
+	}
+	e.batches[d] = b
+}
+
+func (e *emitter) flush() {
+	if e.key == nil {
+		if len(e.batch) > 0 {
+			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: e.batch})
+			e.batch = nil
+		}
+		return
+	}
+	for d, b := range e.batches {
+		if len(b) > 0 {
+			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: b, dest: d})
+			e.batches[d] = nil
+		}
+	}
+}
+
 // process executes one activation outside the scheduler lock. It returns
 // downstream batches and, for the root operator, result rows.
 func (q *query) process(a *activation, w int) (outs []*activation, results []Row) {
-	emit := func(consumer *pop, batch []Row) {
-		outs = append(outs, &activation{op: consumer, rows: batch})
-	}
+	multi := q.mq != nil
 	switch a.op.kind {
 	case opScan:
 		s := a.op.scan
+		src := q.scanSrc(a.op)
 		if a.op.consumer == nil {
 			// Root scan: filtered rows are the result.
-			for _, row := range s.Table.Rows[a.lo:a.hi] {
+			for _, row := range src[a.lo:a.hi] {
 				if s.Filter != nil && !s.Filter(row) {
 					continue
 				}
@@ -626,44 +760,78 @@ func (q *query) process(a *activation, w int) (outs []*activation, results []Row
 			}
 			break
 		}
-		var batch []Row
-		for _, row := range s.Table.Rows[a.lo:a.hi] {
+		em := q.newEmitter(a.op.consumer, &outs)
+		for _, row := range src[a.lo:a.hi] {
 			if s.Filter != nil && !s.Filter(row) {
 				continue
 			}
-			if batch == nil {
-				batch = make([]Row, 0, q.opt.Batch)
-			}
-			batch = append(batch, row)
-			if len(batch) >= q.opt.Batch {
-				emit(a.op.consumer, batch)
-				batch = nil
-			}
+			em.add(row)
 		}
-		if len(batch) > 0 {
-			emit(a.op.consumer, batch)
-		}
+		em.flush()
 	case opBuild:
 		or := q.ops[a.op.id]
 		key := a.op.join.BuildKey
+		if multi {
+			// Rows were routed here by key ownership: global bucket
+			// g = hash(k) mod (nodes*Stripes), owner g mod nodes, local
+			// stripe g div nodes.
+			nb, n := q.mq.buckets, q.mq.n
+			for _, row := range a.rows {
+				k := key(row)
+				s := hashKey(k, nb) / n
+				or.locks[s].Lock()
+				or.stripes[s][k] = append(or.stripes[s][k], row)
+				or.stripeRows[s]++
+				or.locks[s].Unlock()
+			}
+			break
+		}
 		for _, row := range a.rows {
 			k := key(row)
 			s := hashKey(k, q.opt.Stripes)
 			or.locks[s].Lock()
 			or.stripes[s][k] = append(or.stripes[s][k], row)
+			or.stripeRows[s]++
 			or.locks[s].Unlock()
 		}
 	case opProbe:
 		bo := q.ops[a.op.partner.id]
+		po := q.ops[a.op.id]
 		key := a.op.join.ProbeKey
 		combine := a.op.join.Combine
 		arena := &q.arenas[w]
 		isRoot := a.op == q.p.root
-		var batch []Row
+		var em emitter
+		if !isRoot {
+			em = q.newEmitter(a.op.consumer, &outs)
+		}
+		var nb, n int
+		var cache bucketCache
+		if multi {
+			nb, n = q.mq.buckets, q.mq.n
+		}
 		for _, row := range a.rows {
 			k := key(row)
-			s := hashKey(k, q.opt.Stripes)
-			for _, b := range bo.stripes[s][k] {
+			var matches []Row
+			if multi {
+				g := hashKey(k, nb)
+				if g%n == q.node {
+					matches = bo.stripes[g/n][k]
+				} else {
+					// A stolen row: its bucket was copied into this
+					// node's cache when the activation was acquired.
+					if cache == nil {
+						if c := po.cache.Load(); c != nil {
+							cache = *c
+						}
+					}
+					matches = cache[g][k]
+				}
+			} else {
+				s := hashKey(k, q.opt.Stripes)
+				matches = bo.stripes[s][k]
+			}
+			for _, b := range matches {
 				var out Row
 				if combine != nil {
 					out = combine(row, b)
@@ -674,18 +842,11 @@ func (q *query) process(a *activation, w int) (outs []*activation, results []Row
 					results = append(results, out)
 					continue
 				}
-				if batch == nil {
-					batch = make([]Row, 0, q.opt.Batch)
-				}
-				batch = append(batch, out)
-				if len(batch) >= q.opt.Batch {
-					emit(a.op.consumer, batch)
-					batch = nil
-				}
+				em.add(out)
 			}
 		}
-		if len(batch) > 0 {
-			emit(a.op.consumer, batch)
+		if !isRoot {
+			em.flush()
 		}
 	}
 	return outs, results

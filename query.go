@@ -159,9 +159,9 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 		err error
 	)
 	if q.gb != nil {
-		h, err = q.db.pool.SubmitGroupBy(ctx, q.node, q.gb, q.db.opt)
+		h, err = q.db.eng.SubmitGroupBy(ctx, q.node, q.gb, q.db.opt)
 	} else {
-		h, err = q.db.pool.Submit(ctx, q.node, q.db.opt)
+		h, err = q.db.eng.Submit(ctx, q.node, q.db.opt)
 	}
 	if err != nil {
 		return nil, err
