@@ -18,14 +18,16 @@ import (
 
 // dbConfig collects Open-time options.
 type dbConfig struct {
-	nodes   int
-	workers int
-	stripes int
-	morsel  int
-	batch   int
-	maxq    int
-	static  bool
-	noSteal bool
+	nodes    int
+	workers  int
+	stripes  int
+	morsel   int
+	batch    int
+	maxq     int
+	static   bool
+	noSteal  bool
+	memory   int64
+	spillDir string
 }
 
 // Option configures a DB at Open time.
@@ -73,6 +75,25 @@ func WithStatic(static bool) Option { return func(c *dbConfig) { c.static = stat
 // unlimited.
 func WithMaxConcurrentQueries(n int) Option { return func(c *dbConfig) { c.maxq = n } }
 
+// WithMemory gives each node a memory budget in bytes for every query's
+// hash-join tables and group-by partials. A join whose build side would
+// exceed the budget switches to Grace-style partitioned execution:
+// build and probe inputs are hash-partitioned to per-query spill files
+// and the partitions joined one at a time within the budget (recursing
+// on still-oversized partitions), with results identical to the
+// unlimited run. 0 (the default) means unlimited and keeps the engine's
+// ungoverned hot path; negative values are rejected, reported by
+// Run-time validation. Governed queries spill rows to disk, so their
+// columns must be of spill-encodable types (nil, bool, int, int32,
+// int64, uint64, float64, string); see also WithSpillDir and the
+// SpilledPartitions/SpilledBytes/SpillPhases counters on EngineStats.
+func WithMemory(bytes int64) Option { return func(c *dbConfig) { c.memory = bytes } }
+
+// WithSpillDir sets the directory WithMemory's spill files are created
+// under (one temp subdirectory per query, removed at query retirement).
+// Empty (the default) means the system temp directory.
+func WithSpillDir(dir string) Option { return func(c *dbConfig) { c.spillDir = dir } }
+
 // DB is a resident database handle. Open one, register tables, build
 // queries with Scan/Join/GroupBy, execute them concurrently with Run —
 // all queries share the handle's DP worker pools, whose fair
@@ -108,6 +129,8 @@ func Open(opts ...Option) *DB {
 			Batch:           cfg.batch,
 			Static:          cfg.static,
 			DisableStealing: cfg.noSteal,
+			MemoryPerNode:   cfg.memory,
+			SpillDir:        cfg.spillDir,
 		},
 	}
 	eng, err := exec.NewNodes(cfg.nodes, cfg.workers, cfg.maxq)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"hierdb/internal/exec"
+	"hierdb/internal/leaktest"
 )
 
 func testDB(t *testing.T, opts ...Option) *DB {
@@ -41,6 +42,7 @@ func canonRows(rows []Row) []string {
 }
 
 func TestDBQueryBuilder(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := testDB(t, WithWorkers(4))
 
 	// Streaming join through Rows.
@@ -98,6 +100,7 @@ func TestDBQueryBuilder(t *testing.T) {
 }
 
 func TestDBFilterCombineGroupBy(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := testDB(t)
 	report, _, err := db.Scan("orders", func(r Row) bool { return r[0].(int) < 10 }).
 		Join(db.Scan("regions"), KeyCol(0), KeyCol(0)).
@@ -125,6 +128,7 @@ func TestDBFilterCombineGroupBy(t *testing.T) {
 // one handle and checks results and stats stay isolated (the facade leg
 // of the engine's -race concurrency check).
 func TestDBConcurrentQueries(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := testDB(t, WithWorkers(4))
 	const n = 8
 	want := make([][]string, n)
@@ -177,6 +181,7 @@ func TestDBConcurrentQueries(t *testing.T) {
 // join node — two refinements of one base query stay independent, and
 // the base keeps the default combiner.
 func TestCombineClonesJoin(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := testDB(t)
 	base := db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
 	narrow := base.Combine(func(p, b Row) Row { return Row{p[0]} })
@@ -294,6 +299,7 @@ func TestRegisterTableErrors(t *testing.T) {
 }
 
 func TestRowsCloseEarlyReleasesPool(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := Open(WithWorkers(2))
 	defer db.Close()
 	big := &Table{Name: "big", Cols: []string{"k"}}
@@ -349,6 +355,7 @@ func TestDBClosedErrors(t *testing.T) {
 }
 
 func TestMaxConcurrentQueriesOption(t *testing.T) {
+	leaktest.Check(t, 2)
 	db := Open(WithWorkers(2), WithMaxConcurrentQueries(1))
 	defer db.Close()
 	tab := &Table{Name: "t", Cols: []string{"k"}}
@@ -383,6 +390,7 @@ func TestMaxConcurrentQueriesOption(t *testing.T) {
 // Stats; with WithStealing(false) the same workload reports zero steals
 // and still the same rows.
 func TestDBMultiNodeSkewedMatchesSingleNode(t *testing.T) {
+	leaktest.Check(t, 2)
 	const (
 		nodes    = 4
 		stripes  = 32 // per node; global buckets = nodes*stripes
@@ -475,6 +483,7 @@ func skewedKeys(t testing.TB, nodes, stripes, count int) []int {
 }
 
 func TestStaticModeOnDB(t *testing.T) {
+	leaktest.Check(t, 2)
 	dyn := testDB(t, WithWorkers(4))
 	st := testDB(t, WithWorkers(4), WithStatic(true))
 	q := func(db *DB) []string {

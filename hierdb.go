@@ -22,9 +22,13 @@
 //     WithNodes makes the handle hierarchical — several node-local pools
 //     over hash-partitioned tables, with the paper's global activation
 //     stealing (starving nodes acquire remote probe queues and cache the
-//     hash-table buckets they ship) balancing load between nodes. Static
-//     mode gives the FP baseline for comparison; Execute and
-//     ExecuteGroupBy remain as one-shot wrappers over a throwaway pool.
+//     hash-table buckets they ship) balancing load between nodes.
+//     WithMemory adds the paper's memory constraint: each node governs a
+//     byte budget, and hash joins whose build side exceeds it switch to
+//     Grace-style partitioned execution over spill files, with results
+//     identical to the unlimited run. Static mode gives the FP baseline
+//     for comparison; Execute and ExecuteGroupBy remain as one-shot
+//     wrappers over a throwaway pool.
 package hierdb
 
 import (
@@ -209,11 +213,13 @@ type KeyFunc = exec.KeyFunc
 func KeyCol(i int) KeyFunc { return exec.KeyCol(i) }
 
 // EngineOptions tunes the real-data engine (workers, morsel/batch
-// granularity, hash-table striping, Static = FP baseline).
+// granularity, hash-table striping, Static = FP baseline, per-node
+// memory budget and spill directory).
 type EngineOptions = exec.Options
 
-// EngineStats reports per-execution counters, including per-worker load
-// and, on a multi-node DB, per-node breakdowns and steal counters.
+// EngineStats reports per-execution counters, including per-worker load,
+// memory-governance spill counters, and, on a multi-node DB, per-node
+// breakdowns and steal counters.
 type EngineStats = exec.Stats
 
 // NodeStats is one SM-node's share of a multi-node query's counters

@@ -1,0 +1,238 @@
+// Package difftest is a querygen-driven differential test harness for
+// the real-data engine: random multi-join queries (the §5.1.2 /
+// [Shekita93] generation methodology already driving the simulation's
+// workloads) are materialized as seeded synthetic tables, executed
+// under every interesting engine configuration — single-node,
+// multi-node, static (FP) scheduling, stealing disabled, and a tiny
+// WithMemory budget that forces Grace-style spilling — and the row
+// multisets of all legs are required to be identical.
+//
+// The generated query supplies the structure (a random acyclic
+// connected predicate graph over relations of three size classes, with
+// per-edge selectivities targeting 0.5-1.5x the larger operand);
+// materialization scales the paper's 10K-2M cardinalities down by
+// three orders of magnitude so a full differential run fits in a CI
+// test, while preserving the class ratios and per-edge join
+// selectivities.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hierdb"
+	"hierdb/internal/querygen"
+	"hierdb/internal/xrand"
+)
+
+// Case is one materialized differential query: synthetic tables plus a
+// plan builder over them.
+type Case struct {
+	// Name identifies the case (from the generated query).
+	Name string
+	// Tables are the materialized relations (column 0 is a row id, then
+	// one int key column per incident join edge, then a string payload).
+	Tables []*hierdb.Table
+	// Joins is the number of join predicates.
+	Joins int
+
+	q *querygen.Query
+	// keyCol[rel][edge] is the column index of rel's key for that edge.
+	keyCol []map[int]int
+	// order is the BFS join order; attachEdge[i] connects order[i] to the
+	// already-joined prefix (unused for i == 0).
+	order      []int
+	attachEdge []int
+}
+
+// cardDivisor scales the paper's cardinalities (10K-2M) into CI range.
+const cardDivisor = 1000
+
+// Synthesize generates one differential case: a random nrel-relation
+// query (structure from internal/querygen) with deterministically
+// seeded synthetic tables. The same seed always yields the same case.
+func Synthesize(seed uint64, name string, nrel int) *Case {
+	r := xrand.New(seed)
+	q := querygen.Generate(r, name, querygen.Params{Relations: nrel, Nodes: 1})
+	c := &Case{Name: name, q: q, Joins: q.NumJoins()}
+
+	// Scaled cardinalities and per-edge key domains. The edge's
+	// selectivity encodes the paper's result-size draw: result =
+	// ratio * max(|A|,|B|) with ratio = sel * |A| * |B| / max. A shared
+	// key domain of size D = min/ratio over uniformly drawn keys
+	// reproduces that expectation at the scaled cardinalities.
+	cards := make([]int, nrel)
+	for i, rel := range q.Relations {
+		card := int(rel.Cardinality / cardDivisor)
+		if card < 10 {
+			card = 10
+		}
+		cards[i] = card
+	}
+	domains := make([]int, len(q.Edges))
+	for ei, e := range q.Edges {
+		a, b := float64(q.Relations[e.A].Cardinality), float64(q.Relations[e.B].Cardinality)
+		max := a
+		if b > max {
+			max = b
+		}
+		ratio := e.Selectivity * a * b / max // the §5.1.2 [0.5,1.5] draw
+		min, maxc := cards[e.A], cards[e.B]
+		if maxc < min {
+			min, maxc = maxc, min
+		}
+		d := int(float64(min) / ratio)
+		// Bound the per-row join fan-out at 2 from either side, so
+		// left-deep intermediates cannot compound past CI scale (the
+		// paper gates its queries on response time for the same reason).
+		if d < (maxc+1)/2 {
+			d = (maxc + 1) / 2
+		}
+		if d < 1 {
+			d = 1
+		}
+		domains[ei] = d
+	}
+
+	// Column layout and table materialization, seeded per relation.
+	c.keyCol = make([]map[int]int, nrel)
+	incident := make([][]int, nrel)
+	for ei, e := range q.Edges {
+		incident[e.A] = append(incident[e.A], ei)
+		incident[e.B] = append(incident[e.B], ei)
+	}
+	for i := 0; i < nrel; i++ {
+		c.keyCol[i] = make(map[int]int)
+		cols := []string{"id"}
+		for _, ei := range incident[i] {
+			c.keyCol[i][ei] = len(cols)
+			cols = append(cols, fmt.Sprintf("k%d", ei))
+		}
+		cols = append(cols, "payload")
+		tr := r.Split(uint64(i) + 1)
+		tb := &hierdb.Table{Name: fmt.Sprintf("%s_r%d", name, i), Cols: cols}
+		for row := 0; row < cards[i]; row++ {
+			vals := make(hierdb.Row, 0, len(cols))
+			vals = append(vals, row)
+			for _, ei := range incident[i] {
+				vals = append(vals, tr.Intn(domains[ei]))
+			}
+			vals = append(vals, fmt.Sprintf("r%d-%d", i, row))
+			tb.Rows = append(tb.Rows, vals)
+		}
+		c.Tables = append(c.Tables, tb)
+	}
+
+	// Left-deep join order: BFS over the predicate tree from relation 0.
+	adj := make([][][2]int, nrel) // (neighbor, edge)
+	for ei, e := range q.Edges {
+		adj[e.A] = append(adj[e.A], [2]int{e.B, ei})
+		adj[e.B] = append(adj[e.B], [2]int{e.A, ei})
+	}
+	seen := make([]bool, nrel)
+	c.order = []int{0}
+	c.attachEdge = []int{-1}
+	seen[0] = true
+	for qi := 0; qi < len(c.order); qi++ {
+		v := c.order[qi]
+		for _, ne := range adj[v] {
+			if !seen[ne[0]] {
+				seen[ne[0]] = true
+				c.order = append(c.order, ne[0])
+				c.attachEdge = append(c.attachEdge, ne[1])
+			}
+		}
+	}
+	return c
+}
+
+// Build registers the case's tables on db and assembles the left-deep
+// plan with the facade's query builder. The accumulated (probe) side
+// streams against each newly attached relation's build table.
+func (c *Case) Build(db *hierdb.DB) (*hierdb.Query, error) {
+	for _, tb := range c.Tables {
+		if err := db.RegisterTable(tb); err != nil {
+			return nil, err
+		}
+	}
+	offsets := make([]int, len(c.Tables)) // column offset of each relation in the accumulated row
+	acc := db.Scan(c.Tables[c.order[0]].Name)
+	width := len(c.Tables[c.order[0]].Cols)
+	for i := 1; i < len(c.order); i++ {
+		rel := c.order[i]
+		ei := c.attachEdge[i]
+		e := c.q.Edges[ei]
+		prev := e.A
+		if prev == rel {
+			prev = e.B
+		}
+		probeCol := offsets[prev] + c.keyCol[prev][ei]
+		buildCol := c.keyCol[rel][ei]
+		acc = acc.Join(db.Scan(c.Tables[rel].Name), hierdb.KeyCol(probeCol), hierdb.KeyCol(buildCol))
+		offsets[rel] = width
+		width += len(c.Tables[rel].Cols)
+	}
+	return acc, nil
+}
+
+// RunLeg executes the case on a fresh DB opened with the given options
+// and returns the result multiset (formatted row -> count) plus stats.
+func (c *Case) RunLeg(ctx context.Context, opts ...hierdb.Option) (map[string]int, *hierdb.EngineStats, error) {
+	db := hierdb.Open(opts...)
+	defer db.Close()
+	q, err := c.Build(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, st, err := q.Collect(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Multiset(rows), st, nil
+}
+
+// Multiset formats rows into a multiset map for order-insensitive
+// comparison.
+func Multiset(rows []hierdb.Row) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, r := range rows {
+		m[fmt.Sprint([]any(r))]++
+	}
+	return m
+}
+
+// DiffMultisets returns a descriptive error if two row multisets
+// differ (nil when identical).
+func DiffMultisets(name, refName string, got, want map[string]int) error {
+	if len(got) == len(want) {
+		same := true
+		for k, n := range want {
+			if got[k] != n {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	// Build a compact sample of differences.
+	var diffs []string
+	for k, n := range want {
+		if got[k] != n {
+			diffs = append(diffs, fmt.Sprintf("%s: %d in %s vs %d in %s", k, n, refName, got[k], name))
+		}
+	}
+	for k, n := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: %d only in %s", k, n, name))
+		}
+	}
+	sort.Strings(diffs)
+	if len(diffs) > 5 {
+		diffs = append(diffs[:5], fmt.Sprintf("... and %d more", len(diffs)-5))
+	}
+	return fmt.Errorf("leg %s diverges from %s:\n  %s", name, refName, strings.Join(diffs, "\n  "))
+}

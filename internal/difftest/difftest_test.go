@@ -1,0 +1,133 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hierdb"
+	"hierdb/internal/leaktest"
+)
+
+// tinyBudget forces Grace-style spilling on essentially every build
+// side the harness generates.
+const tinyBudget = 16 << 10
+
+// legs are the engine configurations every generated query is
+// cross-checked across. The first leg is the reference.
+func legs(t *testing.T) []struct {
+	name string
+	opts []hierdb.Option
+} {
+	return []struct {
+		name string
+		opts []hierdb.Option
+	}{
+		{"1node", []hierdb.Option{hierdb.WithNodes(1), hierdb.WithWorkers(4)}},
+		{"4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2)}},
+		{"static", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithStatic(true)}},
+		{"nosteal", []hierdb.Option{hierdb.WithNodes(2), hierdb.WithWorkers(2), hierdb.WithStealing(false)}},
+		{"tinymem", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		{"tinymem-4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+	}
+}
+
+// TestDifferentialQueries is the CI differential run: >= 25 generated
+// multi-join queries, each executed under every leg and required to
+// return identical row multisets. Seeds are fixed, so a failure is
+// reproducible by name.
+func TestDifferentialQueries(t *testing.T) {
+	leaktest.Check(t, 2)
+	const queries = 26
+	ctx := context.Background()
+	spilled := false
+	ran := 0
+	for qi := 0; qi < queries; qi++ {
+		// 3-5 relations: deep enough for chained redistribution and
+		// multiple governed builds, small enough for a tight CI loop.
+		nrel := 3 + qi%3
+		name := fmt.Sprintf("Q%02d", qi)
+		t.Run(name, func(t *testing.T) {
+			ran++
+			c := Synthesize(0xD1FF+uint64(qi)*7919, name, nrel)
+			ls := legs(t)
+			ref, _, err := c.RunLeg(ctx, ls[0].opts...)
+			if err != nil {
+				t.Fatalf("%s reference leg: %v", name, err)
+			}
+			if len(ref) == 0 {
+				t.Logf("%s: empty result (legal but uninformative)", name)
+			}
+			for _, leg := range ls[1:] {
+				got, st, err := c.RunLeg(ctx, leg.opts...)
+				if err != nil {
+					t.Fatalf("%s leg %s: %v", name, leg.name, err)
+				}
+				if err := DiffMultisets(leg.name, ls[0].name, got, ref); err != nil {
+					t.Fatal(err)
+				}
+				if st.SpillPhases > 0 {
+					spilled = true
+				}
+			}
+		})
+	}
+	// Not every generated query is big enough to spill, so the
+	// must-have-spilled assertion is aggregate — and only meaningful when
+	// the full set ran (a -run filter selecting single subtests must not
+	// trip it).
+	if ran == queries && !spilled {
+		t.Fatal("no differential leg ever spilled: the tiny-memory legs are not exercising governance")
+	}
+}
+
+// TestSynthesizeDeterministic: the same seed must materialize identical
+// tables and plans (the harness's reproducibility contract).
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(42, "Q", 4)
+	b := Synthesize(42, "Q", 4)
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatalf("table counts differ: %d vs %d", len(a.Tables), len(b.Tables))
+	}
+	for i := range a.Tables {
+		if len(a.Tables[i].Rows) != len(b.Tables[i].Rows) {
+			t.Fatalf("table %d cardinality differs", i)
+		}
+		for j := range a.Tables[i].Rows {
+			if fmt.Sprint(a.Tables[i].Rows[j]) != fmt.Sprint(b.Tables[i].Rows[j]) {
+				t.Fatalf("table %d row %d differs", i, j)
+			}
+		}
+	}
+	got, _, err := a.RunLeg(context.Background(), hierdb.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := b.RunLeg(context.Background(), hierdb.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffMultisets("rerun", "first", got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffMultisetsReportsDivergence: the comparator itself must catch
+// and describe differences (count drift, missing and extra rows).
+func TestDiffMultisetsReportsDivergence(t *testing.T) {
+	want := map[string]int{"[1 a]": 2, "[2 b]": 1}
+	if err := DiffMultisets("x", "ref", map[string]int{"[1 a]": 2, "[2 b]": 1}, want); err != nil {
+		t.Fatalf("identical multisets diverged: %v", err)
+	}
+	cases := []map[string]int{
+		{"[1 a]": 1, "[2 b]": 1},              // count drift
+		{"[1 a]": 2},                          // missing row
+		{"[1 a]": 2, "[2 b]": 1, "[3 c]": 1},  // extra row
+		{"[1 a]": 2, "[2 b]": 1, "[3 c]": -1}, // corrupt count
+	}
+	for i, got := range cases {
+		if err := DiffMultisets("x", "ref", got, want); err == nil {
+			t.Fatalf("case %d: divergence undetected", i)
+		}
+	}
+}

@@ -147,10 +147,56 @@ func mergePartials(partials []map[any]*groupState, gb *GroupBy) map[any]*groupSt
 	return merged
 }
 
-// mergeGroups merges per-worker partials into final output rows, ordered
-// deterministically by formatted key.
-func mergeGroups(partials []map[any]*groupState, gb *GroupBy) []Row {
-	return groupsToRows(mergePartials(partials, gb), gb)
+// groupSpillRows renders a partial's group states as spill rows
+// [key, n, val0, val1, ...] — the disk form of a memory-governed
+// partial that outgrew its budget.
+func groupSpillRows(m map[any]*groupState, gb *GroupBy) []Row {
+	out := make([]Row, 0, len(m))
+	for _, g := range m {
+		row := make(Row, 0, 2+len(gb.Aggs))
+		row = append(row, g.key, g.n)
+		for _, v := range g.vals {
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// mergeSpilledGroups folds decoded spill rows (groupSpillRows form)
+// back into a merged partial, combining with the same semantics as
+// mergePartials.
+func mergeSpilledGroups(m map[any]*groupState, gb *GroupBy, rows []Row) {
+	for _, row := range rows {
+		k := row[0]
+		n := row[1].(int64)
+		g := m[k]
+		if g == nil {
+			g = &groupState{key: k, n: n, vals: make([]float64, len(gb.Aggs))}
+			for i := range gb.Aggs {
+				g.vals[i] = row[2+i].(float64)
+			}
+			m[k] = g
+			continue
+		}
+		g.n += n
+		for i, a := range gb.Aggs {
+			v := row[2+i].(float64)
+			switch a.Func {
+			case Count:
+			case Sum:
+				g.vals[i] += v
+			case Min:
+				if v < g.vals[i] {
+					g.vals[i] = v
+				}
+			case Max:
+				if v > g.vals[i] {
+					g.vals[i] = v
+				}
+			}
+		}
+	}
 }
 
 // groupsToRows renders merged group states as output rows, ordered

@@ -14,6 +14,7 @@ func aggPlan(n, mod int) Node {
 }
 
 func TestGroupByCount(t *testing.T) {
+	checkQueryHygiene(t)
 	plan := aggPlan(100, 4)
 	gb := &GroupBy{Key: KeyCol(0), Aggs: []Aggregation{{Func: Count}}}
 	rows, _, err := ExecuteGroupBy(context.Background(), plan, gb, Options{Workers: 3})
@@ -33,6 +34,7 @@ func TestGroupByCount(t *testing.T) {
 }
 
 func TestGroupBySumMinMax(t *testing.T) {
+	checkQueryHygiene(t)
 	plan := aggPlan(40, 2)
 	arg := func(r Row) float64 { return float64(r[1].(int)) } // probe value column
 	gb := &GroupBy{Key: KeyCol(0), Aggs: []Aggregation{
@@ -60,6 +62,7 @@ func TestGroupBySumMinMax(t *testing.T) {
 }
 
 func TestGroupByDeterministicOrder(t *testing.T) {
+	checkQueryHygiene(t)
 	plan := aggPlan(200, 7)
 	gb := &GroupBy{Key: KeyCol(0), Aggs: []Aggregation{{Func: Count}}}
 	a, _, err := ExecuteGroupBy(context.Background(), plan, gb, Options{Workers: 4})
@@ -92,6 +95,7 @@ func TestGroupByErrors(t *testing.T) {
 }
 
 func TestGroupByQuickCountsConserved(t *testing.T) {
+	checkQueryHygiene(t)
 	f := func(nRaw, modRaw uint8) bool {
 		n := int(nRaw%100) + 1
 		mod := int(modRaw%9) + 1

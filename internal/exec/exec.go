@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+
+	"hierdb/internal/spill"
 )
 
-// Row is one tuple. Columns are positional.
-type Row []any
+// Row is one tuple. Columns are positional. It is an alias of the spill
+// package's row type, so batches move between the executor and spill
+// files without conversion.
+type Row = spill.Row
 
 // Table is a named in-memory relation.
 type Table struct {
@@ -104,6 +108,21 @@ type Options struct {
 	// starving node then idles instead of acquiring a remote probe queue.
 	// It has no effect on a single-node engine.
 	DisableStealing bool
+	// MemoryPerNode is the memory budget in bytes each node's fragment of
+	// the query may hold in hash-join tables and group-by partials. 0
+	// (the default) means unlimited — the hot path is then byte-identical
+	// to an ungoverned engine. When a join's build side would exceed the
+	// budget, the join switches to Grace-style partitioned execution:
+	// build and probe inputs are hash-partitioned to spill files and the
+	// partitions joined one at a time within the budget (recursing on
+	// still-oversized partitions). Spilling encodes rows to disk, so
+	// governed queries are limited to spill-encodable column types (nil,
+	// bool, int, int32, int64, uint64, float64, string).
+	MemoryPerNode int64
+	// SpillDir is the directory spill files are created under (one temp
+	// subdirectory per query, removed at retirement). Empty means the
+	// system temp directory. Only consulted when MemoryPerNode > 0.
+	SpillDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +156,9 @@ func (o Options) validateFor(workers int) (Options, error) {
 	}
 	if o.Batch < 0 {
 		return o, fmt.Errorf("exec: negative Batch (%d)", o.Batch)
+	}
+	if o.MemoryPerNode < 0 {
+		return o, fmt.Errorf("exec: negative MemoryPerNode (%d)", o.MemoryPerNode)
 	}
 	o.Workers = workers
 	return o.withDefaults(), nil
@@ -178,6 +200,19 @@ type Stats struct {
 	// RowsRedistributed counts rows that crossed nodes during normal
 	// pipeline routing (build/probe input redistribution, not steals).
 	RowsRedistributed int64
+
+	// Memory-governance fields, populated only when the query ran with a
+	// MemoryPerNode budget and at least one operator spilled.
+
+	// SpilledPartitions counts spill partitions created (per spilled
+	// join: the initial fan-out plus any recursive re-partitioning; per
+	// governed group-by: one per spilled worker partial).
+	SpilledPartitions int64
+	// SpilledBytes counts bytes written to spill files.
+	SpilledBytes int64
+	// SpillPhases counts partition-wise join phases executed (build
+	// partitions loaded into an in-memory table and probed).
+	SpillPhases int64
 }
 
 // NodeStats is one SM-node's share of a multi-node query's counters.
@@ -200,6 +235,11 @@ type NodeStats struct {
 	Steals            int64
 	StolenActivations int64
 	StolenBuckets     int64
+	// SpilledPartitions/SpilledBytes/SpillPhases are this node's share of
+	// the memory-governance counters (see Stats).
+	SpilledPartitions int64
+	SpilledBytes      int64
+	SpillPhases       int64
 }
 
 // Imbalance returns max/mean of PerWorker (1 = perfectly balanced).
@@ -264,6 +304,12 @@ func OwnerNode(k any, nodes, stripes int) int {
 
 // hashKey hashes a comparable key to a stripe index.
 func hashKey(k any, stripes int) int {
+	return int(keyHash64(k) % uint64(stripes))
+}
+
+// keyHash64 hashes a comparable key to 64 bits (the shared base of
+// stripe, node-ownership and spill-partition indexing).
+func keyHash64(k any) uint64 {
 	var h uint64
 	switch v := k.(type) {
 	case int:
@@ -285,7 +331,7 @@ func hashKey(k any, stripes int) int {
 		fmt.Fprintf(f, "%v", v)
 		h = f.Sum64()
 	}
-	return int(h % uint64(stripes))
+	return h
 }
 
 func mix64(z uint64) uint64 {

@@ -53,6 +53,7 @@ func sameRows(t *testing.T, got, want []Row) {
 }
 
 func TestSingleJoinMatchesNestedLoop(t *testing.T) {
+	checkQueryHygiene(t)
 	build := tbl("b", 100, func(i int) any { return i % 37 }, func(i int) any { return fmt.Sprintf("b%d", i) })
 	probe := tbl("p", 300, func(i int) any { return i % 53 }, func(i int) any { return fmt.Sprintf("p%d", i) })
 	plan := &Join{
@@ -72,6 +73,7 @@ func TestSingleJoinMatchesNestedLoop(t *testing.T) {
 }
 
 func TestFilterApplied(t *testing.T) {
+	checkQueryHygiene(t)
 	build := tbl("b", 50, func(i int) any { return i }, func(i int) any { return i })
 	probe := tbl("p", 50, func(i int) any { return i }, func(i int) any { return i })
 	plan := &Join{
@@ -90,6 +92,7 @@ func TestFilterApplied(t *testing.T) {
 }
 
 func TestMultiJoinChain(t *testing.T) {
+	checkQueryHygiene(t)
 	fact := tbl("f", 500, func(i int) any { return i % 40 }, func(i int) any { return i })
 	d1 := tbl("d1", 40, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("x%d", i) })
 	d2 := tbl("d2", 40, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("y%d", i) })
@@ -122,6 +125,7 @@ func TestMultiJoinChain(t *testing.T) {
 }
 
 func TestBushyTree(t *testing.T) {
+	checkQueryHygiene(t)
 	a := tbl("a", 60, func(i int) any { return i % 20 }, func(i int) any { return i })
 	b := tbl("b", 20, func(i int) any { return i }, func(i int) any { return i })
 	c := tbl("c", 80, func(i int) any { return i % 20 }, func(i int) any { return i })
@@ -143,6 +147,7 @@ func TestBushyTree(t *testing.T) {
 }
 
 func TestStaticMatchesDynamic(t *testing.T) {
+	checkQueryHygiene(t)
 	build := tbl("b", 200, func(i int) any { return i % 31 }, func(i int) any { return i })
 	probe := tbl("p", 400, func(i int) any { return i % 31 }, func(i int) any { return i })
 	plan := &Join{Build: &Scan{Table: build}, Probe: &Scan{Table: probe}, BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
@@ -158,6 +163,7 @@ func TestStaticMatchesDynamic(t *testing.T) {
 }
 
 func TestEmptyInputs(t *testing.T) {
+	checkQueryHygiene(t)
 	empty := &Table{Name: "e", Cols: []string{"k"}}
 	full := tbl("f", 10, func(i int) any { return i }, func(i int) any { return i })
 	for _, plan := range []*Join{
@@ -175,6 +181,7 @@ func TestEmptyInputs(t *testing.T) {
 }
 
 func TestStringAndMixedKeys(t *testing.T) {
+	checkQueryHygiene(t)
 	build := tbl("b", 30, func(i int) any { return fmt.Sprintf("k%d", i%10) }, func(i int) any { return i })
 	probe := tbl("p", 50, func(i int) any { return fmt.Sprintf("k%d", i%10) }, func(i int) any { return i })
 	plan := &Join{Build: &Scan{Table: build}, Probe: &Scan{Table: probe}, BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
@@ -186,6 +193,7 @@ func TestStringAndMixedKeys(t *testing.T) {
 }
 
 func TestCustomCombine(t *testing.T) {
+	checkQueryHygiene(t)
 	build := tbl("b", 5, func(i int) any { return i }, func(i int) any { return i * 10 })
 	probe := tbl("p", 5, func(i int) any { return i }, func(i int) any { return i })
 	plan := &Join{
@@ -207,6 +215,7 @@ func TestCustomCombine(t *testing.T) {
 }
 
 func TestContextCancel(t *testing.T) {
+	checkQueryHygiene(t)
 	big := tbl("b", 200000, func(i int) any { return i }, func(i int) any { return i })
 	plan := &Join{Build: &Scan{Table: big}, Probe: &Scan{Table: big}, BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -229,6 +238,7 @@ func TestErrors(t *testing.T) {
 }
 
 func TestQuickJoinEquivalence(t *testing.T) {
+	checkQueryHygiene(t)
 	f := func(seedB, seedP uint16, nb, np uint8, mod uint8) bool {
 		m := int(mod%13) + 1
 		build := tbl("b", int(nb%40)+1, func(i int) any { return (i + int(seedB)) % m }, func(i int) any { return i })

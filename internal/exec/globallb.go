@@ -142,6 +142,10 @@ func (mq *mquery) stealRound(thief *query) bool {
 	p.mu.Unlock()
 
 	buckets, bytes := thief.acquireBuckets(best.op, acts)
+	// Stolen buckets are resident on the thief for the rest of the
+	// query: charge them to the thief's budget (cache entries are never
+	// re-shipped, so the charge is held until retirement).
+	thief.chargeMem(bytes)
 
 	tp := mq.nodes.pools[thief.node]
 	tp.mu.Lock()
@@ -190,6 +194,14 @@ func (mq *mquery) solicit(thief, fq *query, node int) *stealOffer {
 		if op.kind != opProbe {
 			continue
 		}
+		// A spilled join is not stealable: the provider's (or thief's)
+		// hash table lives in partition files, not in shippable buckets —
+		// its probe activations only partition rows to provider-local
+		// spill files. Spill state is fixed before the probe chain
+		// starts, so the check is stable for the whole round.
+		if fq.spilled(op) || thief.spilled(op) {
+			continue
+		}
 		or := fq.ops[op.id]
 		load += or.queued
 		// Condition (ii): half the queue (what a steal takes) must still
@@ -213,6 +225,12 @@ func (mq *mquery) solicit(thief, fq *query, node int) *stealOffer {
 	var best *stealOffer
 	for _, s := range cands {
 		bytes := mq.shipEstimate(thief, s.op, s.acts)
+		// Memory governance: a thief does not acquire buckets its budget
+		// cannot hold (the real-engine form of §3.2's memory-fit
+		// condition (i), vacuous only when ungoverned).
+		if thief.memBudget > 0 && thief.memUsed.Load()+bytes > thief.memBudget {
+			continue
+		}
 		score := float64(s.queued) / (1 + float64(bytes)/1024)
 		if best == nil || score > best.score {
 			best = &stealOffer{node: node, op: s.op, score: score}

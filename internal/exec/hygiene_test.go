@@ -1,0 +1,43 @@
+package exec
+
+// Shared post-incident hygiene helpers for the exec test suite: the
+// goroutine-leak check (internal/leaktest, also used by the facade
+// tests) plus the pool-idle check — after a cancel/abort, a fresh query
+// on the same pool or engine must still complete. Register
+// checkQueryHygiene at the top of every test that spawns a query.
+
+import (
+	"context"
+	"testing"
+
+	"hierdb/internal/leaktest"
+)
+
+// checkQueryHygiene registers the suite's goroutine-leak check. Call it
+// before creating pools or engines: cleanups run LIFO, so the check
+// runs after the test's Close cleanups have released the workers.
+func checkQueryHygiene(t *testing.T) {
+	t.Helper()
+	leaktest.Check(t, 2)
+}
+
+// submitFunc is the Submit surface shared by Pool and Nodes.
+type submitFunc func(context.Context, Node, Options) (*Handle, error)
+
+// verifyIdle proves a pool or engine still serves queries (the
+// "pool-idle" check): a small fresh join must complete with the right
+// cardinality. Pass p.Submit or ns.Submit.
+func verifyIdle(t *testing.T, submit submitFunc) {
+	t.Helper()
+	h, err := submit(context.Background(), cancelPlan(1000), Options{})
+	if err != nil {
+		t.Fatalf("post-incident query failed to submit: %v", err)
+	}
+	n := 0
+	for batch := range h.Out() {
+		n += len(batch)
+	}
+	if err := h.Err(); err != nil || n != 1000 {
+		t.Fatalf("post-incident query: %d rows, err %v", n, err)
+	}
+}

@@ -1,0 +1,615 @@
+package exec
+
+// Memory governance: the paper's memory-constrained execution model
+// (internal/core/opstate.go charges every hash-table bucket against
+// MemoryPerNode) brought to the real-data engine. Each per-node query
+// fragment gets a byte budget (Options.MemoryPerNode); hash-join builds
+// charge striped-bucket bytes against it, and a build that would exceed
+// the budget switches the join to Grace-style partitioned execution:
+//
+//   - the in-memory stripes are drained into hash-partitioned spill
+//     files (internal/spill) and all further build input is partitioned
+//     straight to disk;
+//   - the probe input, arriving in the next chain, is partitioned to a
+//     parallel set of probe spill files instead of probing;
+//   - once the probe input is exhausted, the partitions are joined one
+//     at a time within the budget — a load activation builds partition
+//     p's hash table, one probe activation per spilled batch probes it
+//     in parallel, and a partition whose build side still exceeds the
+//     budget is re-partitioned with a fresh hash salt (bounded depth);
+//   - group-by partials respect the same budget: a worker partial that
+//     grows past it is spilled to the worker's spill file and folded
+//     back in at merge time.
+//
+// With MemoryPerNode == 0 (the default) none of this state exists and
+// the hot path is untouched. Spill-phase advancement rides the existing
+// operator lifecycle: a spilled probe operator whose pending count hits
+// zero is not finished but advanced to its next partition by
+// spillNextLocked, so the chain barrier, multi-node coordinator and
+// group-by merge all see a perfectly ordinary (if long-lived) operator.
+//
+// Lock order: pool.mu (or mq.mu -> pool.mu) -> joinSpill.mu ->
+// query.spillMu -> spill.File's internal mutex.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"hierdb/internal/spill"
+)
+
+const (
+	// spillFanout is the number of partitions a spilling join (or a
+	// re-partitioned oversized partition) fans out to.
+	spillFanout = 8
+	// maxSpillDepth bounds re-partitioning recursion; a partition still
+	// oversized at the cap (e.g. one giant key) is joined anyway —
+	// correctness over governance.
+	maxSpillDepth = 6
+	// hashEntryBytes prices one hash-table entry beyond its row storage
+	// (map bucket share + bucket-slice header amortized).
+	hashEntryBytes = 48
+	// groupOverheadBytes prices one group-by partial entry beyond its
+	// key (groupState + map bucket share).
+	groupOverheadBytes = 96
+)
+
+// spillKind discriminates spill-phase activations.
+type spillKind int8
+
+const (
+	spillLoad  spillKind = iota + 1 // build one partition's hash table
+	spillProbe                      // probe one spilled batch against it
+)
+
+// spillAct is the payload of a spill-phase activation.
+type spillAct struct {
+	kind  spillKind
+	part  spillPart   // load: the partition to open
+	ref   spill.Ref   // probe: the batch to decode
+	file  *spill.File // probe: the partition's probe file
+	phase *spillPhase // probe: the loaded partition table
+}
+
+// spillPart is one pending partition pair of a spilled join.
+type spillPart struct {
+	build, probe *spill.File
+	salt         uint64
+	depth        int
+}
+
+// spillPhase is the in-flight partition join: partition part's build
+// side loaded into an in-memory table, charged bytes against the
+// fragment budget until the partition's probes complete.
+type spillPhase struct {
+	part  spillPart
+	table map[any][]Row
+	bytes int64
+}
+
+// joinSpill is the spill state of one governed hash join on one
+// fragment, hung off the build operator's opRun. active flips once,
+// from the build worker that overflowed the budget; everything under mu
+// is touched by at most one load/advance at a time after that.
+type joinSpill struct {
+	active atomic.Bool
+
+	mu      sync.Mutex
+	nparts  int
+	seq     int // partition-file name sequencer
+	build   []*spill.File
+	probe   []*spill.File
+	phased  bool // top-level partitions converted to pending
+	pending []spillPart
+	cur     *spillPhase
+	// toClose collects finished partitions' files: spillNextLocked runs
+	// under the scheduler locks, so the close/unlink syscalls are
+	// deferred to the next partition load (and, as backstop, to
+	// releaseSpill at retirement).
+	toClose []*spill.File
+}
+
+// drainCloses closes (and thereby unlinks) partition files queued by
+// spillNextLocked. Called from load processing with no scheduler locks
+// held.
+func (sp *joinSpill) drainCloses() {
+	sp.mu.Lock()
+	files := sp.toClose
+	sp.toClose = nil
+	sp.mu.Unlock()
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// chargeMem adds n bytes to the fragment's memory account and reports
+// whether the budget is now exceeded. No-op (never over) when
+// ungoverned.
+func (q *query) chargeMem(n int64) bool {
+	if q.memBudget <= 0 || n == 0 {
+		return false
+	}
+	return q.memUsed.Add(n) > q.memBudget
+}
+
+// unchargeMem releases bytes charged by chargeMem.
+func (q *query) unchargeMem(n int64) {
+	if q.memBudget > 0 && n != 0 {
+		q.memUsed.Add(-n)
+	}
+}
+
+// approxRowBytes estimates a row's resident size: slice header plus one
+// interface word pair per column plus string payloads.
+func approxRowBytes(r Row) int64 {
+	b := int64(24 + 16*len(r))
+	for _, v := range r {
+		if s, ok := v.(string); ok {
+			b += int64(len(s))
+		}
+	}
+	return b
+}
+
+// spillPartIndex maps a key to its partition at the given recursion
+// salt. Every salt level uses an independent mix of the base key hash,
+// so an oversized partition genuinely splits when re-partitioned.
+func spillPartIndex(k any, salt uint64, nparts int) int {
+	h := mix64(keyHash64(k) ^ (salt+1)*0x9e3779b97f4a7c15)
+	return int(h % uint64(nparts))
+}
+
+// spillFail aborts the query with a spill I/O or encoding error. Called
+// from activation processing with no locks held.
+func (q *query) spillFail(err error) {
+	if q.mq != nil {
+		q.mq.fail(err)
+		return
+	}
+	q.pool.abort(q, err)
+}
+
+// ensureSpillDir creates the query's private spill directory on first
+// use (under Options.SpillDir, default the system temp dir). It is
+// removed wholesale at retirement.
+func (q *query) ensureSpillDir() (string, error) {
+	q.spillMu.Lock()
+	defer q.spillMu.Unlock()
+	if q.spillDir != "" {
+		return q.spillDir, nil
+	}
+	base := q.opt.SpillDir
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "hierdb-spill-")
+	if err != nil {
+		return "", fmt.Errorf("exec: spill dir: %w", err)
+	}
+	q.spillDir = dir
+	return dir, nil
+}
+
+// newSpillFile creates a spill file in the query's spill directory and
+// registers it for retirement cleanup.
+func (q *query) newSpillFile(name string) (*spill.File, error) {
+	dir, err := q.ensureSpillDir()
+	if err != nil {
+		return nil, err
+	}
+	f, err := spill.Create(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	q.spillMu.Lock()
+	q.spillFiles = append(q.spillFiles, f)
+	q.spillMu.Unlock()
+	return f, nil
+}
+
+// spillAppend writes one batch to a spill file, keeping the query's
+// spilled-bytes counter.
+func (q *query) spillAppend(f *spill.File, rows []Row) error {
+	ref, err := f.Append(rows)
+	if err != nil {
+		return err
+	}
+	q.spilledBytes.Add(ref.Len)
+	return nil
+}
+
+// releaseSpill closes (and thereby deletes) every spill file and
+// removes the query's spill directory. Called exactly once per query at
+// finalize, when no worker can touch the query again; double closes
+// from eager per-partition cleanup are idempotent.
+func (q *query) releaseSpill() {
+	q.spillMu.Lock()
+	files := q.spillFiles
+	dir := q.spillDir
+	q.spillFiles, q.spillDir = nil, ""
+	q.spillMu.Unlock()
+	for _, f := range files {
+		f.Close()
+	}
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+}
+
+// spilled reports whether the join owning this probe operator has
+// switched to partitioned execution on fragment q. The flag is fixed
+// before the first probe activation runs (builds precede probes across
+// the chain barrier), so probe-side reads need no lock.
+func (q *query) spilled(probeOp *pop) bool {
+	sp := q.ops[probeOp.partner.id].spill
+	return sp != nil && sp.active.Load()
+}
+
+// spillRows hash-partitions one batch into the given partition files.
+func (q *query) spillRows(files []*spill.File, key KeyFunc, salt uint64, rows []Row) error {
+	n := len(files)
+	parts := make([][]Row, n)
+	for _, row := range rows {
+		d := spillPartIndex(key(row), salt, n)
+		parts[d] = append(parts[d], row)
+	}
+	for d, chunk := range parts {
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := q.spillAppend(files[d], chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildGoverned is the budget-charging build path (MemoryPerNode > 0).
+// Before the spill transition it inserts into the stripes exactly like
+// the ungoverned path, accumulating the batch's byte charge; the worker
+// whose charge crosses the budget performs the transition. Workers
+// racing the transition divert rows whose stripe was already drained
+// (stripeSpilled, read under the stripe lock) to the partition files,
+// so no row is lost between draining and the active flag flipping.
+func (q *query) buildGoverned(or *opRun, rows []Row) error {
+	sp := or.spill
+	key := or.op.join.BuildKey
+	if sp.active.Load() {
+		return q.spillRows(sp.build, key, 0, rows)
+	}
+	multi := q.mq != nil
+	var nb, n int
+	if multi {
+		nb, n = q.mq.buckets, q.mq.n
+	}
+	var add int64
+	var diverted []Row
+	for _, row := range rows {
+		k := key(row)
+		var s int
+		if multi {
+			s = hashKey(k, nb) / n
+		} else {
+			s = hashKey(k, q.opt.Stripes)
+		}
+		or.locks[s].Lock()
+		if or.stripeSpilled[s] {
+			or.locks[s].Unlock()
+			diverted = append(diverted, row)
+			continue
+		}
+		or.stripes[s][k] = append(or.stripes[s][k], row)
+		or.stripeRows[s]++
+		or.locks[s].Unlock()
+		add += approxRowBytes(row) + hashEntryBytes
+	}
+	if len(diverted) > 0 {
+		// The transition published the partition files before marking any
+		// stripe spilled, and we saw the mark under the stripe lock.
+		if err := q.spillRows(sp.build, key, 0, diverted); err != nil {
+			return err
+		}
+	}
+	if q.chargeMem(add) {
+		return q.spillTransition(or)
+	}
+	return nil
+}
+
+// spillTransition switches a governed join to partitioned execution:
+// create the partition files, drain the in-memory stripes into them,
+// refund their charge, and flip active. Single-flight via sp.mu.
+func (q *query) spillTransition(or *opRun) error {
+	sp := or.spill
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.active.Load() {
+		return nil
+	}
+	sp.nparts = spillFanout
+	var err error
+	if sp.build, sp.probe, err = q.newSpillPartFiles(sp, or.op.id); err != nil {
+		return err
+	}
+	key := or.op.join.BuildKey
+	var freed int64
+	for s := range or.stripes {
+		or.locks[s].Lock()
+		m := or.stripes[s]
+		or.stripes[s] = nil
+		or.stripeRows[s] = 0
+		or.stripeSpilled[s] = true
+		or.locks[s].Unlock()
+		// Encoding runs outside the stripe lock: the spilled mark diverts
+		// any later insert for this stripe to the partition files.
+		for _, bucket := range m {
+			for _, chunk := range batchRows(bucket, q.opt.Batch) {
+				if err := q.spillRows(sp.build, key, 0, chunk); err != nil {
+					return err
+				}
+			}
+			for _, row := range bucket {
+				freed += approxRowBytes(row) + hashEntryBytes
+			}
+		}
+	}
+	q.unchargeMem(freed)
+	sp.active.Store(true)
+	return nil
+}
+
+// newSpillPartFiles creates one fan-out of partition file pairs for the
+// join op, named by operator and round so recursive rounds never
+// collide.
+func (q *query) newSpillPartFiles(sp *joinSpill, opID int) (build, probe []*spill.File, err error) {
+	seq := sp.seq
+	sp.seq++
+	q.spilledParts.Add(int64(sp.nparts))
+	for i := 0; i < sp.nparts; i++ {
+		b, err := q.newSpillFile(fmt.Sprintf("j%d-r%d-b%d", opID, seq, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := q.newSpillFile(fmt.Sprintf("j%d-r%d-p%d", opID, seq, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		build, probe = append(build, b), append(probe, p)
+	}
+	return build, probe, nil
+}
+
+// spillNextLocked advances a spilled probe operator when its pending
+// count hits zero: finish the current partition phase (refund its
+// charge, delete its files), then hand back a load activation for the
+// next non-empty partition — or nil when all partitions are joined and
+// the operator may truly finish. Callers hold the fragment's pool
+// mutex (and, multi-node, mq.mu).
+func (q *query) spillNextLocked(or *opRun) *activation {
+	if or.op.kind != opProbe || q.aborted {
+		return nil
+	}
+	sp := q.ops[or.op.partner.id].spill
+	if sp == nil || !sp.active.Load() {
+		return nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.cur != nil {
+		q.unchargeMem(sp.cur.bytes)
+		sp.toClose = append(sp.toClose, sp.cur.part.build, sp.cur.part.probe)
+		sp.cur = nil
+	}
+	if !sp.phased {
+		sp.phased = true
+		for i := range sp.build {
+			sp.pending = append(sp.pending, spillPart{build: sp.build[i], probe: sp.probe[i], salt: 0})
+		}
+		sp.build, sp.probe = nil, nil
+	}
+	for len(sp.pending) > 0 {
+		part := sp.pending[0]
+		sp.pending = sp.pending[1:]
+		if part.build.Rows() == 0 || part.probe.Rows() == 0 {
+			// An inner join with an empty side yields nothing.
+			sp.toClose = append(sp.toClose, part.build, part.probe)
+			continue
+		}
+		return &activation{op: or.op, dest: q.node, spill: &spillAct{kind: spillLoad, part: part}}
+	}
+	return nil
+}
+
+// processSpillLoad opens one partition: re-partition it at the next
+// salt if its build side still exceeds the budget (bounded depth), or
+// build its hash table and fan out one probe activation per spilled
+// probe batch. Runs outside all scheduler locks.
+func (q *query) processSpillLoad(a *activation) (outs []*activation) {
+	sp := q.ops[a.op.partner.id].spill
+	sp.drainCloses()
+	part := a.spill.part
+	// Estimate the partition's resident size: encoded bytes plus per-row
+	// and per-entry overhead. It must fit the budget *headroom* — what
+	// other residents (earlier joins' tables, stolen bucket caches,
+	// group-by partials) have charged counts against the fragment — but
+	// never re-partition below a quarter of the budget: with pathological
+	// little headroom that would recurse every partition to the depth
+	// cap, exploding the file fan-out for no achievable fit.
+	headroom := q.memBudget - q.memUsed.Load()
+	if floor := q.memBudget / 4; headroom < floor {
+		headroom = floor
+	}
+	resident := part.build.Bytes() + part.build.Rows()*(hashEntryBytes+24)
+	if resident > headroom && part.depth < maxSpillDepth {
+		if err := q.repartition(sp, a.op, part); err != nil {
+			q.spillFail(err)
+		}
+		return nil // pending grew; the next pend==0 advance picks it up
+	}
+	key := a.op.join.BuildKey
+	table := make(map[any][]Row)
+	var bytes int64
+	for _, ref := range part.build.Refs() {
+		rows, err := part.build.ReadBatch(ref)
+		if err != nil {
+			q.spillFail(err)
+			return nil
+		}
+		for _, row := range rows {
+			k := key(row)
+			table[k] = append(table[k], row)
+			bytes += approxRowBytes(row) + hashEntryBytes
+		}
+	}
+	q.chargeMem(bytes) // may exceed at the depth cap; accepted
+	q.spillPhases.Add(1)
+	phase := &spillPhase{part: part, table: table, bytes: bytes}
+	sp.mu.Lock()
+	sp.cur = phase
+	sp.mu.Unlock()
+	for _, ref := range part.probe.Refs() {
+		outs = append(outs, &activation{op: a.op, dest: q.node,
+			spill: &spillAct{kind: spillProbe, ref: ref, file: part.probe, phase: phase}})
+	}
+	return outs
+}
+
+// repartition splits one oversized partition into a fresh fan-out at
+// the next hash salt, deleting the old pair. Loads are single-flight
+// per fragment join, so only sp.pending mutation needs sp.mu.
+func (q *query) repartition(sp *joinSpill, probeOp *pop, part spillPart) error {
+	salt := part.salt + 1
+	sp.mu.Lock()
+	builds, probes, err := q.newSpillPartFiles(sp, probeOp.partner.id)
+	sp.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	split := func(src *spill.File, dst []*spill.File, key KeyFunc) error {
+		for _, ref := range src.Refs() {
+			rows, err := src.ReadBatch(ref)
+			if err != nil {
+				return err
+			}
+			if err := q.spillRows(dst, key, salt, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := split(part.build, builds, probeOp.join.BuildKey); err != nil {
+		return err
+	}
+	if err := split(part.probe, probes, probeOp.join.ProbeKey); err != nil {
+		return err
+	}
+	part.build.Close()
+	part.probe.Close()
+	next := make([]spillPart, 0, len(builds))
+	for i := range builds {
+		next = append(next, spillPart{build: builds[i], probe: probes[i], salt: salt, depth: part.depth + 1})
+	}
+	sp.mu.Lock()
+	sp.pending = append(sp.pending, next...)
+	sp.mu.Unlock()
+	return nil
+}
+
+// processSpillProbe decodes one spilled probe batch and probes it
+// against the loaded partition table, emitting downstream batches (or
+// result rows at the root) exactly like the in-memory probe path.
+func (q *query) processSpillProbe(a *activation, w int) (outs []*activation, results []Row) {
+	rows, err := a.spill.file.ReadBatch(a.spill.ref)
+	if err != nil {
+		q.spillFail(err)
+		return nil, nil
+	}
+	table := a.spill.phase.table
+	key := a.op.join.ProbeKey
+	combine := a.op.join.Combine
+	arena := &q.arenas[w]
+	isRoot := a.op == q.p.root
+	var em emitter
+	if !isRoot {
+		em = q.newEmitter(a.op.consumer, &outs)
+	}
+	for _, row := range rows {
+		for _, b := range table[key(row)] {
+			var out Row
+			if combine != nil {
+				out = combine(row, b)
+			} else {
+				out = arena.concat(row, b)
+			}
+			if isRoot {
+				results = append(results, out)
+				continue
+			}
+			em.add(out)
+		}
+	}
+	if !isRoot {
+		em.flush()
+	}
+	return outs, results
+}
+
+// governGroupPartial charges worker w's group-by partial growth and
+// spills the partial to the worker's spill file when it crosses the
+// budget. Only worker w touches its partial and counters, so the only
+// shared state is the byte account.
+func (q *query) governGroupPartial(w int) error {
+	m := q.partials[w]
+	grown := len(m) - q.gbGroups[w]
+	if grown <= 0 {
+		return nil
+	}
+	q.gbGroups[w] = len(m)
+	add := int64(grown) * (groupOverheadBytes + 8*int64(len(q.gb.Aggs)))
+	q.gbCharged[w] += add
+	if !q.chargeMem(add) {
+		return nil
+	}
+	// Over budget: spill the whole partial and reset.
+	f := q.gbFiles[w]
+	if f == nil {
+		var err error
+		if f, err = q.newSpillFile(fmt.Sprintf("gb-w%d", w)); err != nil {
+			return err
+		}
+		q.gbFiles[w] = f
+		q.spilledParts.Add(1)
+	}
+	for _, chunk := range batchRows(groupSpillRows(m, q.gb), q.opt.Batch) {
+		if err := q.spillAppend(f, chunk); err != nil {
+			return err
+		}
+	}
+	q.unchargeMem(q.gbCharged[w])
+	q.gbCharged[w] = 0
+	q.gbGroups[w] = 0
+	q.partials[w] = make(map[any]*groupState)
+	return nil
+}
+
+// mergedGroups merges the in-memory worker partials and folds any
+// spilled partials back in — the governed replacement for
+// mergePartials(q.partials, ...).
+func (q *query) mergedGroups() (map[any]*groupState, error) {
+	merged := mergePartials(q.partials, q.gb)
+	for _, f := range q.gbFiles {
+		if f == nil {
+			continue
+		}
+		for _, ref := range f.Refs() {
+			rows, err := f.ReadBatch(ref)
+			if err != nil {
+				return nil, err
+			}
+			mergeSpilledGroups(merged, q.gb, rows)
+		}
+	}
+	return merged, nil
+}

@@ -513,8 +513,29 @@ func (mq *mquery) wakeThieves(except int) {
 
 // opFinished marks an operator globally done, cascades end-of-producer
 // to its consumer, and advances the chain barrier; returns true once
-// the last chain completes. Callers hold mq.mu.
+// the last chain completes. A probe operator whose join spilled on some
+// fragments is advanced instead: every such fragment gets its next
+// partition-load activation, and the operator only finishes once every
+// fragment's partitions are joined. Callers hold mq.mu (taking pool
+// mutexes here follows the mq -> pool lock order).
 func (mq *mquery) opFinished(op *pop) bool {
+	if op.kind == opProbe && !mq.aborted {
+		loads := 0
+		for i, fq := range mq.frags {
+			p := mq.nodes.pools[i]
+			p.mu.Lock()
+			if a := fq.spillNextLocked(fq.ops[op.id]); a != nil {
+				fq.enqueueLocked(fq.ops[op.id], a)
+				loads++
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+		}
+		if loads > 0 {
+			mq.ops[op.id].pend += int64(loads)
+			return false
+		}
+	}
 	mq.ops[op.id].done = true
 	if c := op.consumer; c != nil {
 		co := &mq.ops[c.id]
@@ -555,12 +576,17 @@ func (mq *mquery) completeFrags() {
 }
 
 // mergeFragment folds one node's worker partials into the node's
-// partial; the last node to finish additionally merges the per-node
-// partials into the final output batches (returned non-nil), which the
-// worker parks on its fragment for the flusher machinery to stream.
-// Called from the worker loop without locks.
+// partial (including any spilled partials of a memory-governed query);
+// the last node to finish additionally merges the per-node partials
+// into the final output batches (returned non-nil), which the worker
+// parks on its fragment for the flusher machinery to stream. Called
+// from the worker loop without locks.
 func (mq *mquery) mergeFragment(q *query) [][]Row {
-	part := mergePartials(q.partials, mq.gb)
+	part, err := q.mergedGroups()
+	if err != nil {
+		mq.fail(err)
+		part = make(map[any]*groupState)
+	}
 	mq.mu.Lock()
 	mq.nodeParts[q.node] = part
 	mq.merged++
@@ -653,6 +679,12 @@ func (mq *mquery) sealStatsLocked() {
 		nst.Steals = atomic.LoadInt64(&fq.steals)
 		nst.StolenActivations = atomic.LoadInt64(&fq.stolenActs)
 		nst.StolenBuckets = atomic.LoadInt64(&fq.stolenBuckets)
+		nst.SpilledPartitions = fq.spilledParts.Load()
+		nst.SpilledBytes = fq.spilledBytes.Load()
+		nst.SpillPhases = fq.spillPhases.Load()
+		s.SpilledPartitions += nst.SpilledPartitions
+		s.SpilledBytes += nst.SpilledBytes
+		s.SpillPhases += nst.SpillPhases
 		s.Activations += nst.Activations
 		s.ResultRows += nst.ResultRows
 		s.PerWorker = append(s.PerWorker, nst.PerWorker...)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -38,6 +37,7 @@ func collectHandle(t *testing.T, h *Handle) []Row {
 // chained two-join plan whose intermediate rows re-partition on a
 // different key.
 func TestMultiNodeMatchesSingleNode(t *testing.T) {
+	checkQueryHygiene(t)
 	dim := tbl("dim", 700, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("d%d", i) })
 	mid := tbl("mid", 900, func(i int) any { return i % 700 }, func(i int) any { return i * 3 })
 	fact := tbl("fact", 9000, func(i int) any { return i % 700 }, func(i int) any { return i })
@@ -97,6 +97,7 @@ func TestMultiNodeMatchesSingleNode(t *testing.T) {
 // TestMultiNodeGroupBy: per-node partial merge then global merge must
 // equal the single-node aggregation, deterministically ordered.
 func TestMultiNodeGroupBy(t *testing.T) {
+	checkQueryHygiene(t)
 	dim := tbl("dim", 40, func(i int) any { return i }, func(i int) any { return fmt.Sprintf("g%d", i%6) })
 	fact := tbl("fact", 8000, func(i int) any { return i % 40 }, func(i int) any { return i })
 	mk := func() Node {
@@ -137,6 +138,7 @@ func TestMultiNodeGroupBy(t *testing.T) {
 // TestMultiNodeEmptyInputs: empty and sub-node-count tables complete
 // (the empty-chain cascade) with correct results.
 func TestMultiNodeEmptyInputs(t *testing.T) {
+	checkQueryHygiene(t)
 	empty := &Table{Name: "e", Cols: []string{"k"}}
 	tiny := tbl("t", 2, func(i int) any { return i }, func(i int) any { return i })
 	ns := newNodesT(t, 4, 2)
@@ -163,7 +165,7 @@ func TestMultiNodeEmptyInputs(t *testing.T) {
 // TestMultiNodeCancellation: cancelling mid-stream aborts promptly on
 // every node and the engine serves the next query.
 func TestMultiNodeCancellation(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkQueryHygiene(t)
 	ns := newNodesT(t, 2, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	h, err := ns.Submit(ctx, cancelPlan(300_000), Options{})
@@ -181,20 +183,13 @@ func TestMultiNodeCancellation(t *testing.T) {
 	if err := h.Err(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled multi-node query reported %v", err)
 	}
-	// Engine-health check: a fresh query completes.
-	h2, err := ns.Submit(context.Background(), cancelPlan(1000), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := collectHandle(t, h2); len(got) != 1000 {
-		t.Fatalf("post-cancel query returned %d rows", len(got))
-	}
-	settleGoroutines(t, base, 2+2*2) // resident workers stay up
+	verifyIdle(t, ns.Submit)
 }
 
 // TestMultiNodeConcurrentQueries: distinct queries in flight on one
 // multi-node engine stay isolated in results and stats (-race leg).
 func TestMultiNodeConcurrentQueries(t *testing.T) {
+	checkQueryHygiene(t)
 	dim := tbl("dim", 200, func(i int) any { return i }, func(i int) any { return i })
 	fact := tbl("fact", 12_000, func(i int) any { return i % 200 }, func(i int) any { return i })
 	ns := newNodesT(t, 2, 2)
@@ -238,6 +233,7 @@ func TestMultiNodeConcurrentQueries(t *testing.T) {
 // TestMultiNodeClosePromptly: Close with a query in flight aborts it
 // with ErrClosed and releases all pools' workers.
 func TestMultiNodeClosePromptly(t *testing.T) {
+	checkQueryHygiene(t)
 	ns, err := NewNodes(2, 2, 0)
 	if err != nil {
 		t.Fatal(err)

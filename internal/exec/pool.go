@@ -408,18 +408,26 @@ func (p *Pool) worker(w int) {
 			// All folds finished before done was set (pending counts hit
 			// zero under the mutex), so reading the partials is safe.
 			var batches [][]Row
+			var mergeErr error
 			if q.mq != nil {
 				// Per-node merge; the last node also merges the
 				// per-node partials and parks the final batches here.
 				batches = q.mq.mergeFragment(q)
 			} else {
-				batches = batchRows(mergeGroups(q.partials, q.gb), q.opt.Batch)
+				groups, err := q.mergedGroups()
+				if err != nil {
+					mergeErr = err
+				} else {
+					batches = batchRows(groupsToRows(groups, q.gb), q.opt.Batch)
+				}
 			}
 			p.mu.Lock()
 			q.merging = false
 			q.mergeDone = true
 			q.inflight--
-			if !q.aborted {
+			if mergeErr != nil {
+				q.failLocked(mergeErr)
+			} else if !q.aborted {
 				// Deliver through the parked/flusher machinery: same
 				// backpressure, cancellation and Close guarantees as the
 				// streaming path.
@@ -462,10 +470,12 @@ func (p *Pool) worker(w int) {
 		}
 		if !q.terminalLocked() {
 			or := q.ops[a.op.id]
-			if a.op.consumer != nil && len(outs) > 0 {
-				co := q.ops[a.op.consumer.id]
+			if len(outs) > 0 {
+				// Each out addresses its own operator: consumer batches in
+				// the ordinary case, the producing operator itself for the
+				// spill-phase probes a partition load fans out.
 				for _, out := range outs {
-					q.enqueueLocked(co, out)
+					q.enqueueLocked(q.ops[out.op.id], out)
 				}
 				if q.allowed != nil {
 					// Static (FP) mode: only specific workers may run the

@@ -37,6 +37,7 @@ func starPlan(seed, factRows int) Node {
 // reference run, with per-query stats isolated. Run under -race this is
 // the engine's concurrency check.
 func TestPoolConcurrentQueries(t *testing.T) {
+	checkQueryHygiene(t)
 	const n = 8
 	pool, err := NewPool(4, 0)
 	if err != nil {
@@ -111,6 +112,7 @@ func TestPoolConcurrentQueries(t *testing.T) {
 // with the fair cross-query pick the light query must complete while the
 // heavy one is still running.
 func TestPoolFairness(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(4, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +156,7 @@ func TestPoolFairness(t *testing.T) {
 // completely and checks another query still completes: workers blocked
 // on the stalled sink are capped at the query's fair share.
 func TestStalledConsumerDoesNotCapturePool(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(4, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +201,7 @@ func TestStalledConsumerDoesNotCapturePool(t *testing.T) {
 // live consumer still completes: flushers surrender their slot after a
 // bounded hold, so slots rotate instead of being pinned forever.
 func TestFlushSlotsRotateAmongStalledConsumers(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(4, 0) // flushCap = 3
 	if err != nil {
 		t.Fatal(err)
@@ -244,6 +248,7 @@ func TestFlushSlotsRotateAmongStalledConsumers(t *testing.T) {
 // and Pool.Close must still return (regression: the merge's sink sends
 // used to block a retired worker that Close could no longer abort).
 func TestUndrainedGroupByDoesNotWedgePool(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(2, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -280,6 +285,7 @@ func TestUndrainedGroupByDoesNotWedgePool(t *testing.T) {
 // TestPoolCloseAbortsInflight closes the pool mid-query and checks the
 // query's stream terminates promptly with ErrClosed.
 func TestPoolCloseAbortsInflight(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(2, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -311,6 +317,7 @@ func TestPoolCloseAbortsInflight(t *testing.T) {
 // TestMaxConcurrentQueries checks the admission bound: with one slot, a
 // second Submit blocks until the first query retires.
 func TestMaxConcurrentQueries(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -348,6 +355,7 @@ func TestMaxConcurrentQueries(t *testing.T) {
 // TestPoolGroupByStreams runs a grouped aggregation through the resident
 // pool and compares against the one-shot ExecuteGroupBy.
 func TestPoolGroupByStreams(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(4, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -386,6 +394,7 @@ func TestPoolGroupByStreams(t *testing.T) {
 // TestRootScanStreams checks that a scan-only query streams its
 // (filtered) rows — the resident API must serve more than joins.
 func TestRootScanStreams(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(2, 0)
 	if err != nil {
 		t.Fatal(err)

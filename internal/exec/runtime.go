@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hierdb/internal/spill"
 )
 
 type opKind int
@@ -165,8 +167,8 @@ func (p *physical) buildChains() {
 	p.chains = reordered
 }
 
-// activation is a self-contained unit of work: a scan morsel or a batch of
-// pipelined rows.
+// activation is a self-contained unit of work: a scan morsel, a batch of
+// pipelined rows, or a spill-phase step of a memory-governed join.
 type activation struct {
 	op   *pop
 	rows []Row
@@ -175,6 +177,9 @@ type activation struct {
 	// dest is the node a routed batch is bound for (multi-node queries
 	// only; scan morsels and single-node batches leave it 0).
 	dest int
+	// spill carries the payload of a spill-phase activation (load a
+	// partition / probe a spilled batch); nil for ordinary activations.
+	spill *spillAct
 }
 
 // opRun is the runtime state of one operator.
@@ -193,6 +198,13 @@ type opRun struct {
 	// stripeRows counts tuples per stripe (guarded by the stripe lock);
 	// the steal protocol prices bucket shipping with it.
 	stripeRows []int
+
+	// Memory governance (build operators of governed queries only).
+	// spill is the join's partitioned-execution state; stripeSpilled
+	// marks stripes drained by the spill transition (guarded by the
+	// stripe lock), diverting racing inserts to the partition files.
+	spill         *joinSpill
+	stripeSpilled []bool
 
 	// cache holds hash-table buckets acquired from other nodes by the
 	// steal protocol, keyed by global bucket id (probe operators of
@@ -283,6 +295,27 @@ type query struct {
 	// w touches only partials[w].
 	partials []map[any]*groupState
 
+	// Memory governance (all zero/nil when Options.MemoryPerNode == 0 —
+	// the governed state simply does not exist on the default hot path).
+	// memBudget is this fragment's byte budget; memUsed its current
+	// charge (hash-table entries, loaded spill partitions, group-by
+	// partials, stolen bucket caches).
+	memBudget int64
+	memUsed   atomic.Int64
+	// spillMu guards the spill directory and file registry (innermost
+	// after joinSpill.mu; never held while taking scheduler locks).
+	spillMu    sync.Mutex
+	spillDir   string
+	spillFiles []*spill.File
+	// Per-worker group-by spill state: worker w touches only index w.
+	gbFiles   []*spill.File
+	gbCharged []int64
+	gbGroups  []int
+	// Spill counters (sealed into Stats at retirement).
+	spilledParts atomic.Int64
+	spilledBytes atomic.Int64
+	spillPhases  atomic.Int64
+
 	stats Stats
 	acts  int64
 }
@@ -343,6 +376,10 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 			}
 			or.locks = make([]sync.Mutex, opt.Stripes)
 			or.stripeRows = make([]int, opt.Stripes)
+			if opt.MemoryPerNode > 0 {
+				or.spill = &joinSpill{}
+				or.stripeSpilled = make([]bool, opt.Stripes)
+			}
 		}
 		q.ops = append(q.ops, or)
 	}
@@ -353,6 +390,14 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 	}
 	if gb != nil {
 		q.partials = make([]map[any]*groupState, opt.Workers)
+	}
+	if opt.MemoryPerNode > 0 {
+		q.memBudget = opt.MemoryPerNode
+		if gb != nil {
+			q.gbFiles = make([]*spill.File, opt.Workers)
+			q.gbCharged = make([]int64, opt.Workers)
+			q.gbGroups = make([]int, opt.Workers)
+		}
 	}
 	return q
 }
@@ -524,8 +569,16 @@ func (q *query) popQueue(or *opRun, w int) *activation {
 
 // opFinishedLocked marks an operator done, propagates end-of-producer to
 // its consumer, and advances to the next pipeline chain when the current
-// one completes. Callers hold the pool mutex.
+// one completes. A spilled probe operator is not finished but advanced:
+// each time its pending count drains, the next spill partition's load
+// activation is enqueued, until every partition is joined. Callers hold
+// the pool mutex.
 func (q *query) opFinishedLocked(or *opRun) {
+	if a := q.spillNextLocked(or); a != nil {
+		q.enqueueLocked(or, a)
+		q.pool.cond.Broadcast()
+		return
+	}
 	or.done = true
 	if cns := or.op.consumer; cns != nil {
 		co := q.ops[cns.id]
@@ -578,6 +631,12 @@ func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
 			q.partials[w] = m
 		}
 		foldGroups(m, q.gb, results)
+		if q.memBudget > 0 {
+			if err := q.governGroupPartial(w); err != nil {
+				q.spillFail(err)
+				return false
+			}
+		}
 		return true
 	}
 	select {
@@ -631,11 +690,15 @@ func stopParkTimer(t *time.Timer) {
 // mutex. A multi-node fragment instead reports to its coordinator,
 // which closes the shared sink when the last fragment retires.
 func (q *query) finalize() {
+	q.releaseSpill()
 	if q.mq != nil {
 		q.mq.fragRetired()
 		return
 	}
 	q.stats.Activations = q.acts
+	q.stats.SpilledPartitions = q.spilledParts.Load()
+	q.stats.SpilledBytes = q.spilledBytes.Load()
+	q.stats.SpillPhases = q.spillPhases.Load()
 	close(q.sink)
 	close(q.finished)
 	q.cancel()
@@ -745,6 +808,14 @@ func (e *emitter) flush() {
 // process executes one activation outside the scheduler lock. It returns
 // downstream batches and, for the root operator, result rows.
 func (q *query) process(a *activation, w int) (outs []*activation, results []Row) {
+	if a.spill != nil {
+		switch a.spill.kind {
+		case spillLoad:
+			return q.processSpillLoad(a), nil
+		case spillProbe:
+			return q.processSpillProbe(a, w)
+		}
+	}
 	multi := q.mq != nil
 	switch a.op.kind {
 	case opScan:
@@ -771,6 +842,12 @@ func (q *query) process(a *activation, w int) (outs []*activation, results []Row
 	case opBuild:
 		or := q.ops[a.op.id]
 		key := a.op.join.BuildKey
+		if q.memBudget > 0 {
+			if err := q.buildGoverned(or, a.rows); err != nil {
+				q.spillFail(err)
+			}
+			break
+		}
 		if multi {
 			// Rows were routed here by key ownership: global bucket
 			// g = hash(k) mod (nodes*Stripes), owner g mod nodes, local
@@ -796,6 +873,15 @@ func (q *query) process(a *activation, w int) (outs []*activation, results []Row
 		}
 	case opProbe:
 		bo := q.ops[a.op.partner.id]
+		if sp := bo.spill; sp != nil && sp.active.Load() {
+			// The build side spilled: probe input is partitioned to the
+			// join's probe spill files and joined partition-wise once the
+			// probe input is exhausted (spillNextLocked).
+			if err := q.spillRows(sp.probe, a.op.join.ProbeKey, 0, a.rows); err != nil {
+				q.spillFail(err)
+			}
+			break
+		}
 		po := q.ops[a.op.id]
 		key := a.op.join.ProbeKey
 		combine := a.op.join.Combine

@@ -9,6 +9,7 @@ import (
 // TestStaticMoreOpsThanWorkers exercises the LPT packing path: a chain of
 // several operators on fewer workers must still cover every operator.
 func TestStaticMoreOpsThanWorkers(t *testing.T) {
+	checkQueryHygiene(t)
 	fact := tbl("f", 2000, func(i int) any { return i % 50 }, func(i int) any { return i })
 	plan := Node(&Scan{Table: fact})
 	for d := 0; d < 4; d++ {
@@ -41,6 +42,7 @@ func TestStaticMoreOpsThanWorkers(t *testing.T) {
 // TestSingleWorker runs the whole pipeline on one worker (degenerate but
 // legal).
 func TestSingleWorker(t *testing.T) {
+	checkQueryHygiene(t)
 	b := tbl("b", 100, func(i int) any { return i % 10 }, func(i int) any { return i })
 	p := tbl("p", 100, func(i int) any { return i % 10 }, func(i int) any { return i })
 	plan := &Join{Build: &Scan{Table: b}, Probe: &Scan{Table: p}, BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}
@@ -58,6 +60,7 @@ func TestSingleWorker(t *testing.T) {
 
 // TestManyWorkersFewRows checks over-provisioned executions terminate.
 func TestManyWorkersFewRows(t *testing.T) {
+	checkQueryHygiene(t)
 	b := tbl("b", 3, func(i int) any { return i }, func(i int) any { return i })
 	p := tbl("p", 3, func(i int) any { return i }, func(i int) any { return i })
 	plan := &Join{Build: &Scan{Table: b}, Probe: &Scan{Table: p}, BuildKey: KeyCol(0), ProbeKey: KeyCol(0)}

@@ -48,6 +48,7 @@ func skewPlan(nodes, stripes, factRows, dimRows int) Node {
 // bucket cache must bound copies at the owner's stripe count. With
 // stealing disabled the same workload reports zero steals.
 func TestGlobalStealOnSkewedWorkload(t *testing.T) {
+	checkQueryHygiene(t)
 	const (
 		nodes    = 2
 		stripes  = 8
@@ -125,6 +126,7 @@ func TestGlobalStealOnSkewedWorkload(t *testing.T) {
 // concurrently on one engine and checks each query's results and steal
 // counters stay per-query (the -race leg of the steal path).
 func TestStealStatsIsolatedPerQuery(t *testing.T) {
+	checkQueryHygiene(t)
 	const (
 		nodes   = 2
 		stripes = 8

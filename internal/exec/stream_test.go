@@ -3,7 +3,6 @@ package exec
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 )
@@ -20,23 +19,6 @@ func cancelPlan(rows int) Node {
 	}
 }
 
-// settleGoroutines polls until the goroutine count returns to within
-// slack of base (worker pools wind down asynchronously after Close).
-func settleGoroutines(t *testing.T, base, slack int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= base+slack {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), base)
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
 // TestPromptCancellation cancels mid-join and requires Execute to return
 // within a bounded wall-clock time with ctx.Err(), workers fully drained,
 // for both the DP and Static modes.
@@ -47,7 +29,7 @@ func TestPromptCancellation(t *testing.T) {
 		static bool
 	}{{"DP", false}, {"Static", true}} {
 		t.Run(mode.name, func(t *testing.T) {
-			base := runtime.NumGoroutine()
+			checkQueryHygiene(t)
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(5 * time.Millisecond) // land mid-build
@@ -62,7 +44,6 @@ func TestPromptCancellation(t *testing.T) {
 			if elapsed > 5*time.Second {
 				t.Fatalf("cancellation took %v", elapsed)
 			}
-			settleGoroutines(t, base, 2)
 		})
 	}
 }
@@ -76,6 +57,7 @@ func TestStreamCancelMidIteration(t *testing.T) {
 		static bool
 	}{{"DP", false}, {"Static", true}} {
 		t.Run(mode.name, func(t *testing.T) {
+			checkQueryHygiene(t)
 			pool, err := NewPool(4, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -98,18 +80,7 @@ func TestStreamCancelMidIteration(t *testing.T) {
 			if err := h.Err(); !errors.Is(err, context.Canceled) {
 				t.Fatalf("cancelled stream reported %v", err)
 			}
-			// Pool-idle check: a fresh query on the same pool completes.
-			h2, err := pool.Submit(context.Background(), cancelPlan(1000), Options{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			n := 0
-			for batch := range h2.Out() {
-				n += len(batch)
-			}
-			if err := h2.Err(); err != nil || n != 1000 {
-				t.Fatalf("post-cancel query: %d rows, err %v", n, err)
-			}
+			verifyIdle(t, pool.Submit)
 		})
 	}
 }
@@ -118,6 +89,7 @@ func TestStreamCancelMidIteration(t *testing.T) {
 // materializes: with a bounded sink far smaller than the result, the
 // first batch must arrive while the query is still in flight.
 func TestStreamsBeforeCompletion(t *testing.T) {
+	checkQueryHygiene(t)
 	pool, err := NewPool(4, 0)
 	if err != nil {
 		t.Fatal(err)

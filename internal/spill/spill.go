@@ -1,0 +1,272 @@
+// Package spill is the disk format of the engine's memory governance:
+// batches of rows encoded to per-partition temp files when a hash-join
+// build side (or a group-by partial) exceeds its node's memory budget,
+// and decoded back one batch at a time during the partition-wise join
+// phases. The format is append-only and batch-granular — every Append
+// returns a Ref, and ReadBatch(Ref) is safe for concurrent readers via
+// ReadAt — so spill-phase activations can decode independent batches in
+// parallel without coordination.
+//
+// Values are encoded with a one-byte type tag per column. The supported
+// set (nil, bool, int, int32, int64, uint64, float64, string) covers the
+// engine's comparable join keys and typical payloads; a row carrying any
+// other type fails the Append with a descriptive error, which the engine
+// surfaces as the query's terminal error rather than silently corrupting
+// the spill.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Row is one tuple, positionally indexed. It is a type alias so the
+// executor's row type ([]any throughout the module) interchanges with it
+// without copying.
+type Row = []any
+
+// Value type tags. The tag order is part of the on-disk format.
+const (
+	tagNil = iota
+	tagFalse
+	tagTrue
+	tagInt
+	tagInt32
+	tagInt64
+	tagUint64
+	tagFloat64
+	tagString
+)
+
+// Ref addresses one appended batch inside a File.
+type Ref struct {
+	// Off is the batch's byte offset in the file.
+	Off int64
+	// Len is the encoded length in bytes.
+	Len int64
+	// Rows is the number of rows in the batch.
+	Rows int
+}
+
+// File is one spill partition: an append-only temp file of encoded row
+// batches. Appends are serialized internally (concurrent producer
+// workers share a partition); reads go through ReadAt and may run
+// concurrently with each other, but not with appends — the engine's
+// chain barrier separates the write phase from the read phase.
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	buf  []byte // encode scratch, reused across Appends
+	refs []Ref
+	off  int64
+	rows int64
+}
+
+// Create opens a new spill file in dir. The file is created eagerly so
+// an unwritable spill directory fails at spill time with a clear error,
+// not at first read.
+func Create(dir, name string) (*File, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create %s: %w", name, err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Append encodes one batch and writes it to the file, returning its Ref.
+// Safe for concurrent callers.
+func (s *File) Append(rows []Row) (Ref, error) {
+	if len(rows) == 0 {
+		return Ref{}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	var err error
+	for _, r := range rows {
+		if buf, err = appendRow(buf, r); err != nil {
+			return Ref{}, err
+		}
+	}
+	s.buf = buf
+	if _, err := s.f.Write(buf); err != nil {
+		return Ref{}, fmt.Errorf("spill: write %s: %w", filepath.Base(s.path), err)
+	}
+	ref := Ref{Off: s.off, Len: int64(len(buf)), Rows: len(rows)}
+	s.refs = append(s.refs, ref)
+	s.off += ref.Len
+	s.rows += int64(len(rows))
+	return ref, nil
+}
+
+func appendRow(buf []byte, r Row) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		switch x := v.(type) {
+		case nil:
+			buf = append(buf, tagNil)
+		case bool:
+			if x {
+				buf = append(buf, tagTrue)
+			} else {
+				buf = append(buf, tagFalse)
+			}
+		case int:
+			buf = append(buf, tagInt)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int32:
+			buf = append(buf, tagInt32)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int64:
+			buf = append(buf, tagInt64)
+			buf = binary.AppendVarint(buf, x)
+		case uint64:
+			buf = append(buf, tagUint64)
+			buf = binary.AppendUvarint(buf, x)
+		case float64:
+			buf = append(buf, tagFloat64)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		case string:
+			buf = append(buf, tagString)
+			buf = binary.AppendUvarint(buf, uint64(len(x)))
+			buf = append(buf, x...)
+		default:
+			return nil, fmt.Errorf("spill: unsupported column type %T (supported: nil, bool, int, int32, int64, uint64, float64, string)", v)
+		}
+	}
+	return buf, nil
+}
+
+// ReadBatch decodes the batch a Ref addresses. Safe for concurrent
+// callers once appends have stopped.
+func (s *File) ReadBatch(ref Ref) ([]Row, error) {
+	if ref.Rows == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, ref.Len)
+	if _, err := s.f.ReadAt(buf, ref.Off); err != nil {
+		return nil, fmt.Errorf("spill: read %s: %w", filepath.Base(s.path), err)
+	}
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n != uint64(ref.Rows) {
+		return nil, fmt.Errorf("spill: corrupt batch header in %s (got %d rows, ref says %d)", filepath.Base(s.path), n, ref.Rows)
+	}
+	buf = buf[w:]
+	rows := make([]Row, 0, ref.Rows)
+	for i := 0; i < ref.Rows; i++ {
+		var (
+			r   Row
+			err error
+		)
+		if r, buf, err = decodeRow(buf); err != nil {
+			return nil, fmt.Errorf("spill: %s: %w", filepath.Base(s.path), err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func decodeRow(buf []byte) (Row, []byte, error) {
+	ncols, w := binary.Uvarint(buf)
+	if w <= 0 || ncols > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("corrupt row header")
+	}
+	buf = buf[w:]
+	r := make(Row, 0, ncols)
+	for c := uint64(0); c < ncols; c++ {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("truncated row")
+		}
+		tag := buf[0]
+		buf = buf[1:]
+		switch tag {
+		case tagNil:
+			r = append(r, nil)
+		case tagFalse:
+			r = append(r, false)
+		case tagTrue:
+			r = append(r, true)
+		case tagInt, tagInt32, tagInt64:
+			v, w := binary.Varint(buf)
+			if w <= 0 {
+				return nil, nil, fmt.Errorf("truncated varint")
+			}
+			buf = buf[w:]
+			switch tag {
+			case tagInt:
+				r = append(r, int(v))
+			case tagInt32:
+				r = append(r, int32(v))
+			default:
+				r = append(r, v)
+			}
+		case tagUint64:
+			v, w := binary.Uvarint(buf)
+			if w <= 0 {
+				return nil, nil, fmt.Errorf("truncated uvarint")
+			}
+			buf = buf[w:]
+			r = append(r, v)
+		case tagFloat64:
+			if len(buf) < 8 {
+				return nil, nil, fmt.Errorf("truncated float64")
+			}
+			r = append(r, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+			buf = buf[8:]
+		case tagString:
+			n, w := binary.Uvarint(buf)
+			if w <= 0 || uint64(len(buf)-w) < n {
+				return nil, nil, fmt.Errorf("truncated string")
+			}
+			r = append(r, string(buf[w:w+int(n)]))
+			buf = buf[w+int(n):]
+		default:
+			return nil, nil, fmt.Errorf("unknown value tag %d", tag)
+		}
+	}
+	return r, buf, nil
+}
+
+// Refs returns the refs of every appended batch, in append order. Call
+// only after appends have stopped.
+func (s *File) Refs() []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs
+}
+
+// Bytes returns the total encoded bytes appended so far.
+func (s *File) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off
+}
+
+// Rows returns the total rows appended so far.
+func (s *File) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Close closes and deletes the file. Idempotent.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}

@@ -1,0 +1,167 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	f, err := Create(t.TempDir(), "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	batch := []Row{
+		{nil, true, false},
+		{42, int32(-7), int64(1 << 40), uint64(1 << 60)},
+		{3.25, "hello", ""},
+		{-1, "utf8 ✓ bytes", 0.0},
+	}
+	ref, err := f.Append(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadBatch(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, batch)
+	}
+}
+
+func TestUnsupportedTypeFailsDescriptively(t *testing.T) {
+	f, err := Create(t.TempDir(), "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Append([]Row{{struct{ X int }{1}}})
+	if err == nil {
+		t.Fatal("Append of a struct column succeeded")
+	}
+	if want := "unsupported column type"; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConcurrentAppendsThenParallelReads mirrors the engine's usage:
+// producer workers append batches concurrently during the write phase,
+// then spill-phase activations decode independent refs in parallel.
+func TestConcurrentAppendsThenParallelReads(t *testing.T) {
+	f, err := Create(t.TempDir(), "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const writers, batches, rowsPer = 4, 25, 17
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]Row, rowsPer)
+				for i := range batch {
+					batch[i] = Row{w, b, fmt.Sprintf("w%d-b%d-r%d", w, b, i)}
+				}
+				if _, err := f.Append(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	refs := f.Refs()
+	if len(refs) != writers*batches {
+		t.Fatalf("%d refs, want %d", len(refs), writers*batches)
+	}
+	if f.Rows() != writers*batches*rowsPer {
+		t.Fatalf("%d rows, want %d", f.Rows(), writers*batches*rowsPer)
+	}
+	seen := make([]map[string]bool, writers)
+	var mu sync.Mutex
+	for w := range seen {
+		seen[w] = make(map[string]bool)
+	}
+	for r := 0; r < 3; r++ { // parallel readers over all refs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, ref := range refs {
+				rows, err := f.ReadBatch(ref)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				for _, row := range rows {
+					seen[row[0].(int)][row[2].(string)] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for w := range seen {
+		if len(seen[w]) != batches*rowsPer {
+			t.Fatalf("writer %d: %d distinct rows read back, want %d", w, len(seen[w]), batches*rowsPer)
+		}
+	}
+}
+
+func TestCloseRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir, "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]Row{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after Close: %v", ents)
+	}
+}
+
+func TestEmptyAppendIsNoop(t *testing.T) {
+	f, err := Create(t.TempDir(), "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ref, err := f.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rows != 0 || f.Bytes() != 0 || len(f.Refs()) != 0 {
+		t.Fatalf("empty append left state: ref %+v bytes %d refs %d", ref, f.Bytes(), len(f.Refs()))
+	}
+	rows, err := f.ReadBatch(ref)
+	if err != nil || rows != nil {
+		t.Fatalf("ReadBatch of empty ref = %v, %v", rows, err)
+	}
+}
