@@ -11,17 +11,35 @@ FRESH     ?= bench-fresh.json
 SHELL       := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci lint test determinism bench benchdiff clean
+# External analyzer versions, pinned to match ci.yml exactly.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: ci lint vet-hdb tools test determinism bench benchdiff clean
 
 ci: lint test determinism benchdiff
 
-lint:
+lint: vet-hdb
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	else echo "staticcheck not installed, skipping (make tools)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
-	else echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+	else echo "govulncheck not installed, skipping (make tools)"; fi
+
+# The module's own analyzers (lockorder, hotpath, rowslifecycle,
+# ctxflow), built from the tree and run through go vet's -vettool
+# protocol. Needs no network: the tool lives in ./cmd/hdbvet.
+vet-hdb:
+	$(GO) build -o bin/hdbvet ./cmd/hdbvet
+	$(GO) vet -vettool=$(CURDIR)/bin/hdbvet ./...
+
+# Install the lint tools: hdbvet from the tree, the external ones at
+# the exact versions CI uses.
+tools:
+	$(GO) install ./cmd/hdbvet
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 test:
 	$(GO) build ./...
@@ -47,3 +65,4 @@ benchdiff: bench
 
 clean:
 	rm -f $(BENCH_OUT) $(FRESH) *.test *.prof *.pprof
+	rm -rf bin

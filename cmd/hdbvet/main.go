@@ -1,0 +1,29 @@
+// Command hdbvet is the project's static-analysis vettool. It bundles
+// the four engine-invariant analyzers — lockorder, hotpath,
+// rowslifecycle and ctxflow — behind the `go vet -vettool` protocol:
+//
+//	go install ./cmd/hdbvet
+//	go vet -vettool="$(go env GOPATH)/bin/hdbvet" ./...
+//
+// or, via the Makefile: make vet-hdb. See the README's "Static
+// analysis" section for what each analyzer enforces and how to annotate
+// code (//hierdb:lock, //hierdb:hotpath, //hierdb:ctx-in-struct,
+// //hierdb:ignore).
+package main
+
+import (
+	"hierdb/internal/analysis/ctxflow"
+	"hierdb/internal/analysis/hotpath"
+	"hierdb/internal/analysis/lockorder"
+	"hierdb/internal/analysis/rowslifecycle"
+	"hierdb/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		lockorder.Analyzer,
+		hotpath.Analyzer,
+		rowslifecycle.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

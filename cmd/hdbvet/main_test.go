@@ -1,0 +1,136 @@
+package main
+
+// Integration tests driving the real `go vet -vettool` protocol end to
+// end: hdbvet is built once, then pointed at throwaway modules — a
+// deliberately broken one that must fail the vet run with named
+// diagnostics, and a clean one that must pass.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildHdbvet compiles the vettool into a temp dir and returns its path.
+func buildHdbvet(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	bin := filepath.Join(t.TempDir(), "hdbvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hdbvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a throwaway single-package module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestHdbvetFailsOnBrokenModule(t *testing.T) {
+	tool := buildHdbvet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module broken\n\ngo 1.24\n",
+		"broken.go": `package broken
+
+import (
+	"fmt"
+	"sync"
+)
+
+type coord struct {
+	mu sync.Mutex //hierdb:lock mq
+}
+
+type sched struct {
+	mu sync.Mutex //hierdb:lock pool
+}
+
+// Inverted acquisition: pool is held while taking mq.
+func inversion(c *coord, s *sched) {
+	s.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Unlock()
+}
+
+//hierdb:hotpath
+func hot(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+`,
+	})
+	out, err := runVet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on the broken module; output:\n%s", out)
+	}
+	for _, wanted := range []string{
+		"(lockorder)",
+		`acquires "mq" lock while holding "pool" lock`,
+		"(hotpath)",
+		"fmt.Sprintf",
+	} {
+		if !strings.Contains(out, wanted) {
+			t.Errorf("vet output missing %q; got:\n%s", wanted, out)
+		}
+	}
+}
+
+func TestHdbvetPassesOnCleanModule(t *testing.T) {
+	tool := buildHdbvet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module clean\n\ngo 1.24\n",
+		"clean.go": `package clean
+
+import "sync"
+
+type coord struct {
+	mu sync.Mutex //hierdb:lock mq
+}
+
+type sched struct {
+	mu sync.Mutex //hierdb:lock pool
+}
+
+func ordered(c *coord, s *sched) {
+	c.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	c.mu.Unlock()
+}
+
+//hierdb:hotpath
+func hot(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+	})
+	out, err := runVet(t, tool, dir)
+	if err != nil {
+		t.Fatalf("go vet failed on the clean module: %v\n%s", err, out)
+	}
+}

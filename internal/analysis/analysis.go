@@ -1,0 +1,212 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The subset exists because the repository builds offline — x/tools is
+// not vendored — yet the engine's concurrency and hot-path invariants
+// (lock ordering, allocation discipline, Rows lifecycle, context flow)
+// deserve machine checking on every push. Analyzers written against
+// this package keep the upstream shape (Name/Doc/Run, Pass.Reportf), so
+// porting them onto the real x/tools framework is a mechanical import
+// swap.
+//
+// Two drivers execute analyzers: analysistest (fixture-based unit
+// tests, loading packages from source via the load package) and
+// unitchecker (the `go vet -vettool` protocol used by cmd/hdbvet).
+//
+// Suppression: a diagnostic is dropped when the offending line — or the
+// line directly above it — carries a comment of the form
+//
+//	//hierdb:ignore <analyzer> <reason>
+//
+// The analyzer name must match exactly and a reason is mandatory, so
+// every suppression documents why the finding is a false positive.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. It mirrors the x/tools type of the
+// same name (minus facts, flags and suggested fixes, which nothing in
+// this repository needs).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hierdb:ignore comments. By convention it is a single lowercase
+	// word.
+	Name string
+	// Doc is the help text; the first line is a one-sentence summary.
+	Doc string
+	// Requires lists analyzers whose results this one consumes via
+	// Pass.ResultOf. They run first.
+	Requires []*Analyzer
+	// Run executes the check on one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional
+	Category string    // optional
+	Message  string
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	ResultOf  map[*Analyzer]any
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Unit is one package ready for analysis: the parsed files and the
+// completed type information both drivers hand to analyzers.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Finding is a Diagnostic attributed to the Analyzer that produced
+// it, ready for a driver to print or match against expectations.
+type Finding struct {
+	Analyzer *Analyzer
+	Diagnostic
+}
+
+// Run executes the analyzers (and their Requires closure, in dependency
+// order) over one package and returns the surviving findings sorted by
+// position. //hierdb:ignore suppressions have already been applied.
+func Run(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	order, err := topoSort(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[*Analyzer]any)
+	var finds []Finding
+	for _, a := range order {
+		if a.Run == nil {
+			return nil, fmt.Errorf("analysis: analyzer %q has no Run", a.Name)
+		}
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			ResultOf:  results,
+			Report: func(d Diagnostic) {
+				finds = append(finds, Finding{Analyzer: a, Diagnostic: d})
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+		}
+		results[a] = res
+	}
+	finds = suppress(u, finds)
+	sort.SliceStable(finds, func(i, j int) bool {
+		if finds[i].Pos != finds[j].Pos {
+			return finds[i].Pos < finds[j].Pos
+		}
+		return finds[i].Message < finds[j].Message
+	})
+	return finds, nil
+}
+
+// topoSort flattens the Requires graph into execution order, failing on
+// cycles.
+func topoSort(roots []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: Requires cycle through %q", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range roots {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// ignoreRE matches targeted suppression comments. The reason group is
+// mandatory: an undocumented suppression is itself suspect.
+var ignoreRE = regexp.MustCompile(`^//hierdb:ignore\s+([a-z0-9_]+)\s+\S`)
+
+// suppress drops findings whose line, or the line directly above, has a
+// //hierdb:ignore comment naming the finding's analyzer.
+func suppress(u *Unit, finds []Finding) []Finding {
+	type key struct {
+		file string
+		line int
+	}
+	ignores := make(map[key]map[string]bool)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				if ignores[k] == nil {
+					ignores[k] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					ignores[k][name] = true
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return finds
+	}
+	kept := finds[:0]
+	for _, f := range finds {
+		pos := u.Fset.Position(f.Pos)
+		name := f.Analyzer.Name
+		if ignores[key{pos.Filename, pos.Line}][name] ||
+			ignores[key{pos.Filename, pos.Line - 1}][name] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

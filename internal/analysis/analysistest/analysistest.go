@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: <dir>/src/<importpath>/*.go, where dir is usually
+// TestData(). A line expecting diagnostics carries a trailing comment
+//
+//	// want `regexp` `another regexp`
+//
+// (double-quoted Go strings also work). Every diagnostic must match an
+// expectation on its line and every expectation must be matched by a
+// diagnostic, else the test fails. A fixture package whose files have
+// no want comments asserts the analyzer is silent on it.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hierdb/internal/analysis"
+	"hierdb/internal/analysis/load"
+)
+
+// TestData returns the abs path of the calling test's testdata dir.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	dir, err := filepath.Abs(filepath.Join(wd, "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package under dir/src and applies the
+// analyzer, reporting expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	modRoot, modPath, err := load.FindModule(dir)
+	if err != nil {
+		// Fixtures that don't import the enclosing module still work.
+		modRoot, modPath = "", ""
+	}
+	loader := load.New(fset, filepath.Join(dir, "src"), modRoot, modPath)
+	for _, pattern := range patterns {
+		pkg, err := loader.Load(pattern)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", pattern, err)
+			continue
+		}
+		if len(pkg.Files) == 0 {
+			t.Errorf("fixture %q resolved outside the fixture tree", pattern)
+			continue
+		}
+		unit := &analysis.Unit{Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		finds, err := analysis.Run(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analyzer %s on %q: %v", a.Name, pattern, err)
+			continue
+		}
+		check(t, fset, pkg.Files, finds)
+	}
+}
+
+// An expectation is one want regexp awaiting a diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	used bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, finds []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may trail other comment text (for example
+				// an annotation under test), so search, don't anchor.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				patterns, err := parseWants(strings.TrimSpace(text))
+				if err != nil {
+					t.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, src: p})
+				}
+			}
+		}
+	}
+	for _, f := range finds {
+		pos := fset.Position(f.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)", pos.Filename, pos.Line, f.Message, f.Analyzer.Name)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.src)
+		}
+	}
+}
+
+// parseWants splits a want payload into its quoted regexps. Both
+// backquoted and double-quoted forms are accepted.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, strconv.ErrSyntax
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote of a Go string literal.
+			i := 1
+			for i < len(s) {
+				if s[i] == '\\' {
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, strconv.ErrSyntax
+			}
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = s[i+1:]
+		default:
+			return nil, strconv.ErrSyntax
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hierdb/internal/analysis/analysistest"
+	"hierdb/internal/analysis/ctxflow"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "hierdb/internal/exec")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"hierdb/internal/spill", // compliant code in scope
+		"other",                 // violations out of scope stay silent
+	)
+}

@@ -1,0 +1,26 @@
+// Package exec shadows the real engine path to exercise every ctxflow
+// diagnostic inside a scoped package.
+package exec
+
+import "context"
+
+var rootCtx = context.Background() // want `package-level context.Context` `context.Background below the facade`
+
+type runner struct {
+	ctx context.Context // want `context stored in struct field`
+}
+
+type query struct {
+	ctx context.Context //hierdb:ctx-in-struct query lifetime: the struct is the cancellation scope
+}
+
+func start(r *runner) {
+	r.ctx = context.Background() // want `context.Background below the facade`
+	go watch(r.ctx)
+}
+
+func todoToo() context.Context {
+	return context.TODO() // want `context.TODO below the facade`
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }

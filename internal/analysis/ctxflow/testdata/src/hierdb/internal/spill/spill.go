@@ -1,0 +1,21 @@
+// Package spill shadows the real engine path with compliant code the
+// analyzer must accept: ctx flows parameter→call everywhere.
+package spill
+
+import "context"
+
+type governor struct {
+	ctx context.Context //hierdb:ctx-in-struct coordinator lifetime: cancelled when the query retires
+}
+
+func run(ctx context.Context, g *governor) error {
+	if err := step(ctx); err != nil {
+		return err
+	}
+	sub, cancel := context.WithCancel(ctx) // deriving is fine; minting roots is not
+	defer cancel()
+	g.ctx = sub
+	return step(sub)
+}
+
+func step(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,15 @@
+// Package other sits outside the scoped packages: the facade and the
+// examples may mint roots and store contexts freely.
+package other
+
+import "context"
+
+var root = context.Background()
+
+type app struct {
+	ctx context.Context
+}
+
+func boot(a *app) {
+	a.ctx = context.TODO()
+}

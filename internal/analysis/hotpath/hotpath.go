@@ -1,0 +1,402 @@
+// Package hotpath flags allocation-introducing constructs in functions
+// annotated with a `//hierdb:hotpath` doc-comment line — the same
+// functions whose allocation budgets the AllocsPerRun gates in
+// internal/simtime, internal/core and internal/exec enforce at runtime.
+// The static gate catches a regression at vet time and names the
+// construct; the runtime gate catches whatever escapes analysis.
+//
+// Flagged constructs:
+//
+//   - function literals capturing variables from the enclosing function
+//     (the capture forces closure and variable to the heap);
+//     capture-free literals are fine
+//   - map composite literals (a literal allocates at the annotation
+//     site; hoist it or use a presized make)
+//   - implicit conversion of a scalar (bool/int/uint/float/complex/
+//     string) to an interface type — boxing allocates; panic arguments
+//     are exempt, failure paths may allocate
+//   - append to a plain local slice with no preallocation evidence
+//     (3-arg make or a reslice) in the function; appends to fields,
+//     parameters, named results and indexed/dereferenced targets are
+//     exempt — those grow amortized output buffers by design
+//   - any call into package fmt (formatting allocates; hot paths use
+//     precomputed strings or integer fast paths)
+//
+// False positives are suppressed per line with
+// `//hierdb:ignore hotpath <reason>`.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hierdb/internal/analysis"
+)
+
+// Analyzer flags allocation-introducing constructs in //hierdb:hotpath
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation-introducing constructs in //hierdb:hotpath functions",
+	Run:  run,
+}
+
+const marker = "//hierdb:hotpath"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			c := &checker{
+				pass:     pass,
+				decl:     fd,
+				presized: map[types.Object]bool{},
+				growable: map[types.Object]bool{},
+			}
+			c.check()
+		}
+	}
+	return nil, nil
+}
+
+// annotated reports whether the function's doc comment contains a
+// //hierdb:hotpath line.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	decl *ast.FuncDecl
+	// presized marks local slice vars with preallocation evidence.
+	presized map[types.Object]bool
+	// growable marks local slice vars whose definitions all grow from
+	// empty (zero var decl, nil, empty literal, 2-arg make).
+	growable map[types.Object]bool
+}
+
+func (c *checker) check() {
+	c.collectSliceOrigins(c.decl.Body)
+	sig, _ := c.typeOf(c.decl.Name).(*types.Signature)
+	c.scan(c.decl.Body, sig)
+}
+
+// scan walks one function body; a nested FuncLit recurses with its own
+// signature so return-boxing is checked against the right result types.
+func (c *checker) scan(body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			c.checkFuncLit(nn)
+			litSig, _ := c.typeOf(nn).(*types.Signature)
+			c.scan(nn.Body, litSig)
+			return false
+		case *ast.CompositeLit:
+			c.checkCompositeLit(nn)
+		case *ast.CallExpr:
+			c.checkCall(nn)
+		case *ast.AssignStmt:
+			c.checkAssignBoxing(nn)
+		case *ast.ValueSpec:
+			for i, name := range nn.Names {
+				if i < len(nn.Values) {
+					if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+						c.checkBox(nn.Values[i], obj.Type())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			c.checkReturnBoxing(nn, sig)
+		case *ast.SendStmt:
+			if ch, ok := c.typeOf(nn.Chan).(*types.Chan); ok {
+				c.checkBox(nn.Value, ch.Elem())
+			}
+		case *ast.IndexExpr:
+			if m, ok := underlying(c.typeOf(nn.X)).(*types.Map); ok {
+				c.checkBox(nn.Index, m.Key())
+			}
+		}
+		return true
+	})
+}
+
+// --- closures ---
+
+// checkFuncLit reports literals that capture enclosing locals.
+func (c *checker) checkFuncLit(lit *ast.FuncLit) {
+	var captured *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function (incl.
+		// params/receiver) but outside the literal itself.
+		if v.Pos() >= c.decl.Pos() && v.Pos() < c.decl.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = id
+			return false
+		}
+		return true
+	})
+	if captured != nil {
+		c.pass.Reportf(lit.Pos(), "closure captures %s: capturing closures allocate in hot paths", captured.Name)
+	}
+}
+
+// --- map literals ---
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in hot path: hoist it or use a presized make")
+	case *types.Slice:
+		for _, el := range lit.Elts {
+			c.checkBox(el, u.Elem())
+		}
+	case *types.Array:
+		for _, el := range lit.Elts {
+			c.checkBox(el, u.Elem())
+		}
+	}
+}
+
+// --- calls: fmt, boxing of arguments, append discipline ---
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins: append gets the capacity check, panic is exempt from
+	// boxing (failure paths may allocate), the rest never box.
+	if id := calleeIdent(call); id != nil {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				c.checkAppend(call)
+			}
+			return
+		}
+		if fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.pass.Reportf(call.Pos(), "call to fmt.%s allocates in hot path", fn.Name())
+			return
+		}
+	}
+	sig, ok := underlying(c.typeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.checkBox(arg, pt)
+		}
+	}
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// checkAppend flags appends that grow a local slice with no
+// preallocation evidence anywhere in the function.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return // fields, *h, s[i]: amortized growth targets by design
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || !c.growable[obj] || c.presized[obj] {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "append to %s grows without preallocated capacity in hot path: presize with make(T, 0, n)", id.Name)
+}
+
+// collectSliceOrigins classifies every definition of a local slice var
+// as growable (starts empty) or presized (capacity evidence).
+func (c *checker) collectSliceOrigins(body *ast.BlockStmt) {
+	classify := func(lhs ast.Expr, rhs ast.Expr, def bool) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if def {
+			obj = c.pass.TypesInfo.Defs[id]
+		} else {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if _, isSlice := underlying(v.Type()).(*types.Slice); !isSlice {
+			return
+		}
+		switch r := rhs.(type) {
+		case nil:
+			c.growable[obj] = true // var s []T
+		case *ast.Ident:
+			if r.Name == "nil" {
+				c.growable[obj] = true
+			} else {
+				c.presized[obj] = true // aliases another slice
+			}
+		case *ast.CompositeLit:
+			if len(r.Elts) == 0 {
+				c.growable[obj] = true // []T{}
+			} else {
+				c.presized[obj] = true
+			}
+		case *ast.CallExpr:
+			if bid := calleeIdent(r); bid != nil {
+				if b, ok := c.pass.TypesInfo.Uses[bid].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						if len(r.Args) >= 3 {
+							c.presized[obj] = true // make(T, n, cap)
+						} else {
+							c.growable[obj] = true // make(T, n) still grows
+						}
+					case "append":
+						// self-growth; classification unchanged
+					default:
+						c.presized[obj] = true
+					}
+					return
+				}
+			}
+			c.presized[obj] = true // unknown provenance: benefit of the doubt
+		default:
+			c.presized[obj] = true // reslices, selectors, indexes, calls
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			if len(nn.Lhs) == len(nn.Rhs) {
+				for i := range nn.Lhs {
+					classify(nn.Lhs[i], nn.Rhs[i], nn.Tok.String() == ":=")
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range nn.Names {
+				var rhs ast.Expr
+				if i < len(nn.Values) {
+					rhs = nn.Values[i]
+				}
+				classify(name, rhs, true)
+			}
+		}
+		return true
+	})
+}
+
+// --- interface boxing ---
+
+func (c *checker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value unpacking cannot convert
+	}
+	for i := range as.Lhs {
+		var target types.Type
+		if as.Tok.String() == ":=" {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					target = obj.Type()
+				}
+			}
+		} else {
+			target = c.typeOf(as.Lhs[i])
+		}
+		c.checkBox(as.Rhs[i], target)
+	}
+}
+
+func (c *checker) checkReturnBoxing(ret *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		c.checkBox(res, sig.Results().At(i).Type())
+	}
+}
+
+// checkBox reports expr flowing into target when that implies boxing a
+// scalar into an interface.
+func (c *checker) checkBox(expr ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	b, ok := underlying(c.typeOf(expr)).(*types.Basic)
+	if !ok {
+		return
+	}
+	if b.Info()&(types.IsBoolean|types.IsNumeric|types.IsString) == 0 {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "implicit conversion of %s to %s boxes a scalar and allocates in hot path", b.Name(), target.String())
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func underlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

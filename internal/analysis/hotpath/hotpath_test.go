@@ -1,0 +1,16 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"hierdb/internal/analysis/analysistest"
+	"hierdb/internal/analysis/hotpath"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "b")
+}

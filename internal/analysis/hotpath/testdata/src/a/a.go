@@ -1,0 +1,59 @@
+// Package a exercises every hotpath diagnostic.
+package a
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//hierdb:hotpath
+func capturingClosure(xs []int) int {
+	total := 0
+	add := func(x int) { total += x } // want `closure captures total`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//hierdb:hotpath
+func mapLiteral(k int) string {
+	m := map[int]string{} // want `map literal allocates in hot path`
+	return m[k]
+}
+
+//hierdb:hotpath
+func boxesArgument(xs []int) {
+	sink(xs[0]) // want `implicit conversion of int to any boxes a scalar`
+}
+
+//hierdb:hotpath
+func boxesAssignment(n int) any {
+	var v any = n // want `implicit conversion of int to any boxes a scalar`
+	return v
+}
+
+//hierdb:hotpath
+func growingAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to out grows without preallocated capacity`
+	}
+	return out
+}
+
+//hierdb:hotpath
+func callsFmt() {
+	fmt.Println() // want `call to fmt.Println allocates in hot path`
+}
+
+// unannotated may do all of the above without complaint.
+func unannotated(xs []int) {
+	m := map[int]string{}
+	_ = m
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	sink(out)
+	fmt.Println()
+}

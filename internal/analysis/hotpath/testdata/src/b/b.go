@@ -1,0 +1,59 @@
+// Package b holds allocation-disciplined hot-path code the analyzer
+// must accept.
+package b
+
+import "fmt"
+
+type emitter struct {
+	batch []int
+}
+
+//hierdb:hotpath
+func presizedAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x) // capacity evidence: 3-arg make
+	}
+	return out
+}
+
+//hierdb:hotpath
+func fieldAppend(e *emitter, x int) {
+	e.batch = append(e.batch, x) // amortized output buffer by design
+}
+
+//hierdb:hotpath
+func namedResultAppend(xs []int) (out []int) {
+	for _, x := range xs {
+		out = append(out, x) // named results accumulate output by design
+	}
+	return out
+}
+
+//hierdb:hotpath
+func nonCapturingClosure() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+//hierdb:hotpath
+func presizedMap(n int) map[int]int {
+	return make(map[int]int, n) // make is fine; only literals are flagged
+}
+
+//hierdb:hotpath
+func interfaceThrough(v any) any {
+	return v // already boxed at the caller: no conversion here
+}
+
+//hierdb:hotpath
+func panicIsExempt(n int) {
+	if n < 0 {
+		panic("negative") // failure paths may allocate
+	}
+}
+
+//hierdb:hotpath
+func suppressedFallback(v any) {
+	//hierdb:ignore hotpath cold fallback for exotic values, never on the fast path
+	fmt.Sprint(v)
+}

@@ -1,0 +1,184 @@
+// Package load type-checks packages from source for the analysistest
+// driver. It resolves an import path against, in order: a fixture
+// source root (testdata/src, so fixtures can shadow real module paths),
+// the standard library (via the compiler-independent source importer),
+// and the enclosing module's own tree. Nothing here touches the network
+// or the module cache — the repository has no dependencies and analysis
+// fixtures may only import the stdlib and the module itself.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one source-loaded, type-checked package. Packages
+// resolved from the standard library carry only Types (their syntax is
+// never analyzed).
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads and memoizes packages. Create with New.
+type Loader struct {
+	Fset    *token.FileSet
+	srcRoot string // fixture roots, searched first; "" to disable
+	modRoot string // module root directory; "" to disable
+	modPath string // module path, e.g. "hierdb"
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a Loader resolving against the given fixture source root
+// and module. Either may be empty to disable that resolution step.
+func New(fset *token.FileSet, srcRoot, modRoot, modPath string) *Loader {
+	return &Loader{
+		Fset:    fset,
+		srcRoot: srcRoot,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves, parses and type-checks the package at the given import
+// path (and, transitively, its imports).
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return l.loadDir(path, dir)
+		}
+	}
+	if dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path)); hasGoFiles(dir) {
+		pkg, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("load: stdlib %q: %w", path, err)
+		}
+		p := &Package{Path: path, Dir: dir, Types: pkg}
+		l.pkgs[path] = p
+		return p, nil
+	}
+	if l.modRoot != "" {
+		if path == l.modPath {
+			return l.loadDir(path, l.modRoot)
+		}
+		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+			return l.loadDir(path, filepath.Join(l.modRoot, filepath.FromSlash(rest)))
+		}
+	}
+	return nil, fmt.Errorf("load: cannot resolve import %q", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the single package in dir under the
+// given import path. File selection (build tags, _test exclusion)
+// follows go/build; comments are kept so analyzers see annotations.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		p, err := l.Load(ipath)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hierdb/internal/analysis/analysistest"
+	"hierdb/internal/analysis/lockorder"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "b")
+}

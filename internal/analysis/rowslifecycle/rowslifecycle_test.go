@@ -1,0 +1,16 @@
+package rowslifecycle_test
+
+import (
+	"testing"
+
+	"hierdb/internal/analysis/analysistest"
+	"hierdb/internal/analysis/rowslifecycle"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rowslifecycle.Analyzer, "a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rowslifecycle.Analyzer, "b")
+}

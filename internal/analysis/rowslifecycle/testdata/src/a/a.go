@@ -1,0 +1,32 @@
+// Package a exercises every rowslifecycle diagnostic.
+package a
+
+import (
+	"context"
+
+	"hierdb"
+)
+
+func discarded(ctx context.Context, db *hierdb.DB) {
+	db.Scan("t").Run(ctx) // want `result of \(\*hierdb.Query\).Run discarded`
+}
+
+func blank(ctx context.Context, db *hierdb.DB) {
+	_, _ = db.Scan("t").Run(ctx) // want `result of \(\*hierdb.Query\).Run discarded`
+}
+
+func neverReleased(ctx context.Context, db *hierdb.DB) error {
+	rows, err := db.Scan("t").Run(ctx) // want `Rows from \(\*hierdb.Query\).Run does not reach Close or Collect`
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+		_ = rows.Row()
+	}
+	return rows.Err()
+}
+
+func statsOnly(ctx context.Context, db *hierdb.DB) *hierdb.EngineStats {
+	rows, _ := db.Scan("t").Run(ctx) // want `Rows from \(\*hierdb.Query\).Run does not reach Close or Collect`
+	return rows.Stats()
+}

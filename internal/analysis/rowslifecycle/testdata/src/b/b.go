@@ -1,0 +1,69 @@
+// Package b holds compliant Rows lifecycles the analyzer must accept.
+package b
+
+import (
+	"context"
+
+	"hierdb"
+)
+
+func deferClose(ctx context.Context, db *hierdb.DB) error {
+	rows, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		_ = rows.Row()
+	}
+	return rows.Err()
+}
+
+func collect(ctx context.Context, db *hierdb.DB) ([]hierdb.Row, error) {
+	rows, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+func returned(ctx context.Context, db *hierdb.DB) (*hierdb.Rows, error) {
+	return db.Scan("t").Run(ctx) // caller owns the lifecycle
+}
+
+func returnedVar(ctx context.Context, db *hierdb.DB) (*hierdb.Rows, error) {
+	rows, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func drain(rows *hierdb.Rows) error { return rows.Close() }
+
+func passedToHelper(ctx context.Context, db *hierdb.DB) error {
+	rows, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		return err
+	}
+	return drain(rows) // helper owns the lifecycle
+}
+
+type session struct {
+	rows *hierdb.Rows
+}
+
+func storedInField(ctx context.Context, db *hierdb.DB, s *session) error {
+	var err error
+	s.rows, err = db.Scan("t").Run(ctx) // lifetime owned by the session
+	return err
+}
+
+func closeInClosure(ctx context.Context, db *hierdb.DB, cleanup *[]func()) error {
+	rows, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		return err
+	}
+	*cleanup = append(*cleanup, func() { rows.Close() })
+	return nil
+}

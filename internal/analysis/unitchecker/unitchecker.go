@@ -1,0 +1,195 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// project's analyzers, mirroring x/tools' package of the same name.
+//
+// cmd/go drives the tool in three modes: `-V=full` prints an identity
+// line cmd/go hashes into its action cache; `-flags` prints the tool's
+// flag schema (none); otherwise the sole argument is the path of a JSON
+// config describing one already-compiled package — file lists plus an
+// import→export-data map, so types for dependencies come from the build
+// cache via go/importer rather than from source. Diagnostics go to
+// stderr as file:line:col lines and any finding exits nonzero, which
+// `go vet` reports per package.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"hierdb/internal/analysis"
+)
+
+// Config is the JSON schema cmd/go writes for each vetted package
+// (a subset of the fields; unused ones are ignored by encoding/json).
+type Config struct {
+	ID                        string // package ID, e.g. "hierdb/internal/exec"
+	Compiler                  string // "gc"
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // canonical package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // dependency facts (unused: no fact analyzers)
+	VetxOnly                  bool              // only facts are needed; skip diagnostics
+	VetxOutput                string            // where to write this package's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the unitchecker protocol over the given analyzers and does
+// not return. It is the entire main function of cmd/hdbvet.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			// The build ID must vary with the executable's contents so
+			// editing an analyzer invalidates cmd/go's vet cache.
+			fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfID())
+			os.Exit(0)
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		case "help", "-help", "--help", "-h":
+			usage(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+	if len(os.Args) != 2 || !filepath.IsAbs(os.Args[1]) {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+	findings, err := runConfig(os.Args[1], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(findings)
+}
+
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: static analysis for the hierdb engine; run via `go vet -vettool`.\n\nAnalyzers:\n", progname)
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nUsage: go vet -vettool=$(command -v %s) ./...\n", progname)
+}
+
+// selfID hashes the running executable into a short build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// runConfig analyzes the one package described by the config file and
+// returns the process exit code (0 clean, 2 findings).
+func runConfig(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// This tool exports no facts, but cmd/go requires the vetx file to
+	// consider the action successful and cache it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the build cache: map the import path
+	// through ImportMap to its canonical path, then through PackageFile
+	// to the compiled package's export data.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	finds, err := analysis.Run(unit, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range finds {
+		pos := fset.Position(f.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, f.Message, f.Analyzer.Name)
+	}
+	if len(finds) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

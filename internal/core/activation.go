@@ -63,6 +63,8 @@ type activation struct {
 // newActivation takes an activation from the engine pool (or allocates on
 // first use). Fields are zeroed except srcNode, which defaults to -1
 // (produced locally).
+//
+//hierdb:hotpath
 func (e *Engine) newActivation() *activation {
 	var a *activation
 	if n := len(e.actFree); n > 0 {
@@ -76,6 +78,8 @@ func (e *Engine) newActivation() *activation {
 }
 
 // freeActivation recycles a fully consumed activation into the pool.
+//
+//hierdb:hotpath
 func (e *Engine) freeActivation(a *activation) {
 	*a = activation{}
 	e.actFree = append(e.actFree, a)
@@ -130,10 +134,13 @@ func (q *queue) empty() bool { return q.count == 0 }
 func (q *queue) full(capacity int) bool { return q.count >= capacity }
 
 // at returns the i-th queued activation (0 = front) without removing it.
+//
+//hierdb:hotpath
 func (q *queue) at(i int) *activation {
 	return q.items[(q.head+i)&(len(q.items)-1)]
 }
 
+//hierdb:hotpath
 func (q *queue) push(a *activation) {
 	if q.count == len(q.items) {
 		q.grow()
@@ -143,6 +150,8 @@ func (q *queue) push(a *activation) {
 }
 
 // grow doubles the ring, unwrapping the live window to the front.
+//
+//hierdb:hotpath
 func (q *queue) grow() {
 	size := len(q.items) * 2
 	if size == 0 {
@@ -156,6 +165,7 @@ func (q *queue) grow() {
 	q.head = 0
 }
 
+//hierdb:hotpath
 func (q *queue) pop() *activation {
 	if q.count == 0 {
 		return nil
@@ -174,6 +184,8 @@ func (q *queue) popAll() []*activation {
 }
 
 // popN removes and returns up to n activations from the front.
+//
+//hierdb:hotpath
 func (q *queue) popN(n int) []*activation {
 	if n > q.count {
 		n = q.count

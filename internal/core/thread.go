@@ -55,6 +55,7 @@ func (t *thread) spawn() {
 	t.eng.k.Spawn(fmt.Sprintf("n%dt%d", t.node.id, t.idx), t.run)
 }
 
+//hierdb:hotpath
 func (t *thread) run(p *simtime.Proc) {
 	t.proc = p
 	e := t.eng
@@ -75,6 +76,8 @@ func (t *thread) run(p *simtime.Proc) {
 }
 
 // charge advances virtual time by instr instructions of work.
+//
+//hierdb:hotpath
 func (t *thread) charge(instr int64) {
 	if instr <= 0 {
 		return
@@ -84,6 +87,7 @@ func (t *thread) charge(instr int64) {
 	t.proc.Delay(d)
 }
 
+//hierdb:hotpath
 func (t *thread) chargeQueueOp() {
 	t.eng.run.QueueOps++
 	t.charge(t.eng.costs.QueueOp)
@@ -93,6 +97,8 @@ func (t *thread) wake() { t.cond.Signal() }
 
 // nextSuspended resumes the oldest suspended activation that can make
 // progress now.
+//
+//hierdb:hotpath
 func (t *thread) nextSuspended() *activation {
 	now := t.eng.k.Now()
 	for i, a := range t.suspended {
@@ -106,6 +112,8 @@ func (t *thread) nextSuspended() *activation {
 }
 
 // canProceed reports whether a suspended activation is unblocked.
+//
+//hierdb:hotpath
 func (t *thread) canProceed(a *activation, now simtime.Time) bool {
 	if a.hasPending {
 		return t.deliverable(&a.pending)
@@ -120,6 +128,8 @@ func (t *thread) canProceed(a *activation, now simtime.Time) bool {
 }
 
 // deliverable reports whether a batch can be delivered without blocking.
+//
+//hierdb:hotpath
 func (t *thread) deliverable(b *batch) bool {
 	c := b.consumer
 	if b.dstNode == t.node.id {
@@ -131,6 +141,8 @@ func (t *thread) deliverable(b *batch) bool {
 
 // mayConsume applies the FP restriction (nil allowed set = DP, any
 // operator).
+//
+//hierdb:hotpath
 func (t *thread) mayConsume(o *opState) bool {
 	if t.allowed == nil {
 		return true
@@ -142,6 +154,8 @@ func (t *thread) mayConsume(o *opState) bool {
 // queues first (the thread's own queue of each operator), then the
 // circular list starting at a per-thread offset to limit interference
 // (§4, Figure 5).
+//
+//hierdb:hotpath
 func (t *thread) nextQueued() *activation {
 	e := t.eng
 	t.charge(e.costs.Select)
@@ -169,6 +183,7 @@ func (t *thread) nextQueued() *activation {
 	return nil
 }
 
+//hierdb:hotpath
 func (t *thread) dequeue(q *queue) *activation {
 	wasFull := q.full(t.eng.opt.QueueCapacity)
 	a := q.pop()
@@ -193,6 +208,8 @@ func (t *thread) dequeue(q *queue) *activation {
 }
 
 // step drives an activation until it completes or suspends.
+//
+//hierdb:hotpath
 func (t *thread) step(a *activation) {
 	var blocked bool
 	if a.kind == trigger {
@@ -212,6 +229,8 @@ func (t *thread) step(a *activation) {
 
 // suspend parks a blocked activation on the thread's suspended list
 // (playing the part of the paper's procedure-call context save).
+//
+//hierdb:hotpath
 func (t *thread) suspend(a *activation) {
 	t.eng.run.Suspensions++
 	t.charge(t.eng.costs.Suspend)
@@ -221,6 +240,8 @@ func (t *thread) suspend(a *activation) {
 // stepTrigger advances a scan trigger activation: asynchronous page reads
 // interleaved with per-page CPU work and downstream emission. It returns
 // true when blocked (page not ready or output queue full).
+//
+//hierdb:hotpath
 func (t *thread) stepTrigger(a *activation) bool {
 	e := t.eng
 	o := a.op
@@ -258,6 +279,8 @@ func (t *thread) stepTrigger(a *activation) bool {
 
 // stepData advances a build or probe data activation. It returns true when
 // blocked on emission.
+//
+//hierdb:hotpath
 func (t *thread) stepData(a *activation) bool {
 	e := t.eng
 	o := a.op
@@ -304,6 +327,8 @@ func (o *opState) residueNode(n int) *opNode {
 
 // drainEmission packs pending output tuples into batches and delivers
 // them. It returns false when blocked by flow control.
+//
+//hierdb:hotpath
 func (t *thread) drainEmission(a *activation) bool {
 	if !a.hasPending && a.emitRemaining == 0 {
 		return true

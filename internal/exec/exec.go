@@ -298,17 +298,23 @@ func runOneShot(workers int, submit func(*Pool) (*Handle, error)) ([]Row, *Stats
 // OwnerNode reports which node of a (nodes, stripes-per-node) engine
 // owns join key k — the routing rule of the multi-node engine, exposed
 // so tests and benchmarks can construct workloads of known skew.
+//
+//hierdb:hotpath
 func OwnerNode(k any, nodes, stripes int) int {
 	return hashKey(k, nodes*stripes) % nodes
 }
 
 // hashKey hashes a comparable key to a stripe index.
+//
+//hierdb:hotpath
 func hashKey(k any, stripes int) int {
 	return int(keyHash64(k) % uint64(stripes))
 }
 
 // keyHash64 hashes a comparable key to 64 bits (the shared base of
 // stripe, node-ownership and spill-partition indexing).
+//
+//hierdb:hotpath
 func keyHash64(k any) uint64 {
 	var h uint64
 	switch v := k.(type) {
@@ -328,12 +334,14 @@ func keyHash64(k any) uint64 {
 		h = mix64(math.Float64bits(v))
 	default:
 		f := fnv.New64a()
+		//hierdb:ignore hotpath cold fallback for exotic key types; the common scalar kinds are handled above
 		fmt.Fprintf(f, "%v", v)
 		h = f.Sum64()
 	}
 	return h
 }
 
+//hierdb:hotpath
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -96,7 +96,7 @@ type spillPhase struct {
 type joinSpill struct {
 	active atomic.Bool
 
-	mu      sync.Mutex
+	mu      sync.Mutex //hierdb:lock jspill
 	nparts  int
 	seq     int // partition-file name sequencer
 	build   []*spill.File

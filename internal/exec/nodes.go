@@ -329,7 +329,7 @@ type mquery struct {
 	buckets   int
 	scanParts map[int][][]Row // scan opID -> per-node partition
 
-	ctx      context.Context
+	ctx      context.Context //hierdb:ctx-in-struct coordinator lifetime: cancelled when the multi-node query retires
 	cancel   context.CancelFunc
 	sink     chan []Row
 	finished chan struct{}
@@ -338,7 +338,7 @@ type mquery struct {
 	remaining   atomic.Int64 // fragments not yet retired
 	idleThieves atomic.Int64 // fragments parked in stealIdle
 
-	mu      sync.Mutex
+	mu      sync.Mutex //hierdb:lock mq
 	ops     []mop
 	chain   int
 	done    bool
@@ -414,6 +414,8 @@ func (mq *mquery) startChain(c int) bool {
 // pending counts, and advance operators/chains. Called by the worker
 // loop without any lock held; the caller still decrements q.inflight
 // and runs the retirement check on its own pool afterwards.
+//
+//hierdb:hotpath
 func (mq *mquery) epilogue(q *query, a *activation, outs []*activation, delivered bool) {
 	if !delivered {
 		mq.fail(q.ctx.Err())
@@ -447,6 +449,8 @@ func (mq *mquery) epilogue(q *query, a *activation, outs []*activation, delivere
 // (the redistribution "network" of the hierarchy), waking destination
 // workers and any steal-idle thief whose peers refilled past the wake
 // threshold. Called without locks; pending counts were settled first.
+//
+//hierdb:hotpath
 func (mq *mquery) deliverOuts(src *query, outs []*activation) {
 	op := outs[0].op
 	for d := 0; d < mq.n; d++ {

@@ -35,7 +35,7 @@ type Pool struct {
 	workers int
 	sem     chan struct{} // admission slots; nil = unlimited
 
-	mu       sync.Mutex
+	mu       sync.Mutex //hierdb:lock pool
 	cond     *sync.Cond
 	queries  []*query // in-flight, scheduling order
 	fair     int      // rotating cross-query pick cursor
@@ -223,6 +223,8 @@ const (
 // workers may block on slow consumers pool-wide. Callers hold mu; a
 // returned jobFlush/jobMerge has been claimed (flushing/merging set) and
 // the caller must run it.
+//
+//hierdb:hotpath
 func (p *Pool) pickLocked(w int, anchor **query) (q *query, a *activation, job jobKind) {
 	n := len(p.queries)
 	if n == 0 {
@@ -288,6 +290,8 @@ const flushHold = 10 * time.Millisecond
 // simply stays parked for the next claim). Returns false if the query
 // was cancelled while flushing. Called without mu by the worker that
 // claimed q.flushing; timer is the worker's reusable park timer.
+//
+//hierdb:hotpath
 func (p *Pool) runFlush(q *query, timer **time.Timer) bool {
 	for {
 		p.mu.Lock()
@@ -332,6 +336,7 @@ func (p *Pool) releaseAnchorLocked(anchor **query) {
 	}
 }
 
+//hierdb:hotpath
 func (p *Pool) worker(w int) {
 	defer p.wg.Done()
 	var (

@@ -194,7 +194,7 @@ type opRun struct {
 
 	// hash table (build/probe pairs share via partner).
 	stripes []map[any][]Row
-	locks   []sync.Mutex
+	locks   []sync.Mutex //hierdb:lock stripe
 	// stripeRows counts tuples per stripe (guarded by the stripe lock);
 	// the steal protocol prices bucket shipping with it.
 	stripeRows []int
@@ -230,7 +230,7 @@ type query struct {
 
 	// ctx is done when the caller's context is cancelled, the consumer
 	// closes the result stream, or the query retires.
-	ctx    context.Context
+	ctx    context.Context //hierdb:ctx-in-struct query lifetime: the struct is the cancellation scope
 	cancel context.CancelFunc
 
 	// sink carries result batches to the consumer; its bound provides
@@ -304,7 +304,7 @@ type query struct {
 	memUsed   atomic.Int64
 	// spillMu guards the spill directory and file registry (innermost
 	// after joinSpill.mu; never held while taking scheduler locks).
-	spillMu    sync.Mutex
+	spillMu    sync.Mutex //hierdb:lock spillmu
 	spillDir   string
 	spillFiles []*spill.File
 	// Per-worker group-by spill state: worker w touches only index w.
@@ -331,6 +331,8 @@ type rowArena struct {
 const arenaChunk = 16 * 1024
 
 // concat returns a new row holding a then b, carved from the arena.
+//
+//hierdb:hotpath
 func (ar *rowArena) concat(a, b Row) Row {
 	need := len(a) + len(b)
 	if len(ar.chunk)+need > cap(ar.chunk) {
@@ -519,6 +521,8 @@ func (q *query) assignStatic(chain []*pop) {
 
 // enqueueLocked adds an activation to the operator's next queue
 // round-robin. Callers hold the pool mutex.
+//
+//hierdb:hotpath
 func (q *query) enqueueLocked(or *opRun, a *activation) {
 	or.queues[or.rr] = append(or.queues[or.rr], a)
 	or.rr = (or.rr + 1) % len(or.queues)
@@ -531,6 +535,8 @@ func (q *query) enqueueLocked(or *opRun, a *activation) {
 // bounds memory, playing the role of the paper's flow control), the
 // worker's primary queue before other queues of the same operator.
 // Callers hold the pool mutex.
+//
+//hierdb:hotpath
 func (q *query) pickLocked(w int) *activation {
 	chain := q.p.chains[q.chain]
 	for i := len(chain) - 1; i >= 0; i-- {
@@ -546,6 +552,7 @@ func (q *query) pickLocked(w int) *activation {
 	return nil
 }
 
+//hierdb:hotpath
 func (q *query) popQueue(or *opRun, w int) *activation {
 	if or.queued == 0 {
 		return nil
@@ -620,6 +627,8 @@ const sinkParkDelay = time.Millisecond
 // timer is the calling worker's reusable park timer. Returns false if
 // the query was cancelled before the batch could be delivered. Called
 // without the pool mutex.
+//
+//hierdb:hotpath
 func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
 	if len(results) == 0 {
 		return true
@@ -763,6 +772,7 @@ func (q *query) newEmitter(consumer *pop, outs *[]*activation) emitter {
 	return e
 }
 
+//hierdb:hotpath
 func (e *emitter) add(row Row) {
 	if e.key == nil {
 		if e.batch == nil {
@@ -789,6 +799,7 @@ func (e *emitter) add(row Row) {
 	e.batches[d] = b
 }
 
+//hierdb:hotpath
 func (e *emitter) flush() {
 	if e.key == nil {
 		if len(e.batch) > 0 {
@@ -807,6 +818,8 @@ func (e *emitter) flush() {
 
 // process executes one activation outside the scheduler lock. It returns
 // downstream batches and, for the root operator, result rows.
+//
+//hierdb:hotpath
 func (q *query) process(a *activation, w int) (outs []*activation, results []Row) {
 	if a.spill != nil {
 		switch a.spill.kind {

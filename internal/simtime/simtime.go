@@ -82,6 +82,7 @@ func (e event) before(o event) bool {
 // push/pop never touch the allocator beyond amortized slice growth.
 type eventHeap []event
 
+//hierdb:hotpath
 func (h *eventHeap) push(e event) {
 	s := append(*h, e)
 	i := len(s) - 1
@@ -96,6 +97,7 @@ func (h *eventHeap) push(e event) {
 	*h = s
 }
 
+//hierdb:hotpath
 func (h *eventHeap) pop() event {
 	s := *h
 	top := s[0]
@@ -175,6 +177,8 @@ func (k *Kernel) at(t Time, fn func()) {
 // dispatchAt schedules a direct dispatch of p at absolute time t. This is
 // the allocation-free fast path behind Delay, Spawn, Cond.Signal and
 // Cond.Broadcast.
+//
+//hierdb:hotpath
 func (k *Kernel) dispatchAt(t Time, p *Proc) {
 	k.seq++
 	k.events.push(event{at: t, seq: k.seq, proc: p})
@@ -232,6 +236,8 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 // caller blocks until resumed in turn, otherwise (a finished process or
 // the initial Run drive) advance returns immediately so the goroutine can
 // exit or wait on mainCh. When the heap drains, Run is woken.
+//
+//hierdb:hotpath
 func (k *Kernel) advance(self *Proc) {
 	for {
 		if len(k.events) == 0 {
@@ -270,6 +276,8 @@ func (k *Kernel) advance(self *Proc) {
 
 // park suspends the calling process, driving the event loop until some
 // event dispatches it again.
+//
+//hierdb:hotpath
 func (p *Proc) park(why string) {
 	p.waiting = why
 	p.k.advance(p)
@@ -279,6 +287,8 @@ func (p *Proc) park(why string) {
 // Delay advances virtual time by d for the calling process, modelling d of
 // sequential work. It panics on negative d. Delay(0) yields the processor,
 // allowing same-time events to run.
+//
+//hierdb:hotpath
 func (p *Proc) Delay(d Duration) {
 	if d < 0 {
 		panic("simtime: negative delay")
@@ -335,6 +345,8 @@ func (k *Kernel) NewCond(name string) *Cond {
 
 // Wait parks p until another event calls Signal or Broadcast. As with
 // sync.Cond, callers re-check their predicate in a loop.
+//
+//hierdb:hotpath
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
 	p.park(c.label)
@@ -342,6 +354,8 @@ func (c *Cond) Wait(p *Proc) {
 
 // Signal wakes the longest-waiting process, if any. The wakeup is delivered
 // as a zero-delay event, preserving deterministic ordering.
+//
+//hierdb:hotpath
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
@@ -354,6 +368,8 @@ func (c *Cond) Signal() {
 }
 
 // Broadcast wakes every waiting process.
+//
+//hierdb:hotpath
 func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil

@@ -58,7 +58,7 @@ type Ref struct {
 // concurrently with each other, but not with appends — the engine's
 // chain barrier separates the write phase from the read phase.
 type File struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //hierdb:lock spillfile
 	f    *os.File
 	path string
 	buf  []byte // encode scratch, reused across Appends
