@@ -42,6 +42,7 @@ import (
 	"hierdb/internal/experiments"
 	"hierdb/internal/metrics"
 	"hierdb/internal/plan"
+	"hierdb/internal/vec"
 )
 
 // ---------------------------------------------------------------------
@@ -202,6 +203,30 @@ type Table = exec.Table
 
 // ScanNode reads a table (optionally filtered).
 type ScanNode = exec.Scan
+
+// Pred is a single-column scan predicate (column index, comparison
+// operator, constant). Unlike a row Filter closure, predicates are
+// evaluated inside the columnar scan kernel as tight per-column loops
+// that only shrink the selection vector — no row materialization. A
+// null column value satisfies only IsNull; a constant outside the
+// column's type family matches no rows.
+type Pred = vec.Pred
+
+// CmpOp is a predicate comparison operator.
+type CmpOp = vec.CmpOp
+
+// Predicate comparison operators. IsNull/NotNull ignore the constant;
+// bools support Eq/Ne only.
+const (
+	Eq      = vec.Eq
+	Ne      = vec.Ne
+	Lt      = vec.Lt
+	Le      = vec.Le
+	Gt      = vec.Gt
+	Ge      = vec.Ge
+	IsNull  = vec.IsNull
+	NotNull = vec.NotNull
+)
 
 // JoinNode is a hash equi-join of two sub-plans.
 type JoinNode = exec.Join

@@ -57,3 +57,16 @@ func unannotated(xs []int) {
 	sink(out)
 	fmt.Println()
 }
+
+// A columnar kernel that boxes per row: writing scalars from a typed
+// column into boxed storage inside the per-row loop defeats the typed
+// representation — boxing belongs only at the vec->Row boundary.
+//
+//hierdb:hotpath
+func boxingColumnarGather(vals []int64, sel []int32) []any {
+	out := make([]any, len(sel))
+	for j, li := range sel {
+		out[j] = vals[li] // want `implicit conversion of int64 to any boxes a scalar`
+	}
+	return out
+}

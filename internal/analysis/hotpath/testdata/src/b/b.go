@@ -57,3 +57,30 @@ func suppressedFallback(v any) {
 	//hierdb:ignore hotpath cold fallback for exotic values, never on the fast path
 	fmt.Sprint(v)
 }
+
+// A columnar filter kernel: a tight per-column loop that only shrinks
+// the caller's selection vector — no materialization, no boxing.
+//
+//hierdb:hotpath
+func filterGtColumnar(vals []int64, sel []int32, limit int64, out []int32) []int32 {
+	out = out[:0]
+	for _, li := range sel {
+		if vals[li] > limit {
+			out = append(out, li) // caller-provided scratch: amortized by design
+		}
+	}
+	return out
+}
+
+// The row boundary: materializing a row copies already-boxed interface
+// words out of a column — the one sanctioned boxing site, and it does
+// not box (the words were boxed when the column was built).
+//
+//hierdb:hotpath
+func materializeBoundary(box []any, sel []int32) [][]any {
+	rows := make([][]any, 0, len(sel))
+	for _, li := range sel {
+		rows = append(rows, box[li:li+1])
+	}
+	return rows
+}

@@ -177,6 +177,49 @@ func (c *Case) Build(db *hierdb.DB) (*hierdb.Query, error) {
 	return acc, nil
 }
 
+// Reference evaluates the case with a naive row-at-a-time interpreter —
+// no batches, no selection vectors, no arenas — and returns the result
+// multiset. It is the semantic anchor the columnar engine legs are
+// cross-checked against: a left-deep chain of map-backed hash joins over
+// the raw table rows, with the engine's output convention (probe columns
+// then build columns) and its key semantics (keys compare as boxed
+// interface values, so nil==nil matches and cross-type keys do not).
+func (c *Case) Reference() map[string]int {
+	acc := make([]hierdb.Row, 0, len(c.Tables[c.order[0]].Rows))
+	for _, r := range c.Tables[c.order[0]].Rows {
+		acc = append(acc, r)
+	}
+	offsets := make([]int, len(c.Tables))
+	width := len(c.Tables[c.order[0]].Cols)
+	for i := 1; i < len(c.order); i++ {
+		rel := c.order[i]
+		ei := c.attachEdge[i]
+		e := c.q.Edges[ei]
+		prev := e.A
+		if prev == rel {
+			prev = e.B
+		}
+		probeCol := offsets[prev] + c.keyCol[prev][ei]
+		buildCol := c.keyCol[rel][ei]
+		ht := make(map[any][]hierdb.Row)
+		for _, br := range c.Tables[rel].Rows {
+			ht[br[buildCol]] = append(ht[br[buildCol]], br)
+		}
+		var next []hierdb.Row
+		for _, pr := range acc {
+			for _, br := range ht[pr[probeCol]] {
+				row := make(hierdb.Row, 0, len(pr)+len(br))
+				row = append(append(row, pr...), br...)
+				next = append(next, row)
+			}
+		}
+		acc = next
+		offsets[rel] = width
+		width += len(c.Tables[rel].Cols)
+	}
+	return Multiset(acc)
+}
+
 // RunLeg executes the case on a fresh DB opened with the given options
 // and returns the result multiset (formatted row -> count) plus stats.
 func (c *Case) RunLeg(ctx context.Context, opts ...hierdb.Option) (map[string]int, *hierdb.EngineStats, error) {

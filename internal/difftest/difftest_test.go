@@ -29,6 +29,13 @@ func legs(t *testing.T) []struct {
 		{"nosteal", []hierdb.Option{hierdb.WithNodes(2), hierdb.WithWorkers(2), hierdb.WithStealing(false)}},
 		{"tinymem", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 		{"tinymem-4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		// The columnar-kernel legs: tiny batches force constant batch
+		// boundaries, padding and selection-vector churn through the vec
+		// pipeline, on one node and on four governed nodes. Both are
+		// additionally cross-checked against the naive row-at-a-time
+		// Reference interpreter (not just the engine reference leg).
+		{"vec-1node", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithBatch(16), hierdb.WithMorsel(64)}},
+		{"vec-4node-tinymem", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithBatch(16), hierdb.WithMorsel(64), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 	}
 }
 
@@ -57,6 +64,13 @@ func TestDifferentialQueries(t *testing.T) {
 			}
 			if len(ref) == 0 {
 				t.Logf("%s: empty result (legal but uninformative)", name)
+			}
+			// The engine reference leg must agree with the naive
+			// row-at-a-time interpreter before the engine legs are
+			// compared among themselves: this anchors the whole columnar
+			// pipeline to row semantics, not just to its own consistency.
+			if err := DiffMultisets(ls[0].name, "row-reference", ref, c.Reference()); err != nil {
+				t.Fatal(err)
 			}
 			for _, leg := range ls[1:] {
 				got, st, err := c.RunLeg(ctx, leg.opts...)

@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"hierdb/internal/vec"
 )
 
 // AggFunc identifies an aggregate function.
@@ -108,6 +110,71 @@ func foldGroups(m map[any]*groupState, gb *GroupBy, rows []Row) {
 			case Max:
 				if v := a.Arg(row); v > g.vals[i] {
 					g.vals[i] = v
+				}
+			}
+		}
+	}
+}
+
+// foldGroupsBatch folds one columnar result batch into worker w's
+// private partial. With a resolved group-key column the key is the
+// column's boxed value (already an interface word — no re-boxing);
+// otherwise the key closure runs over a reused scratch row. Arg
+// closures also see the scratch row: they return scalars, so reuse is
+// safe.
+//
+//hierdb:hotpath
+func (q *query) foldGroupsBatch(m map[any]*groupState, w int, b *vec.Batch) {
+	gb := q.gb
+	vs := &q.vscratch[w]
+	var keyCol *vec.Col
+	if q.gbKeyCol >= 0 && q.gbKeyCol < len(b.Cols) {
+		keyCol = &b.Cols[q.gbKeyCol]
+	}
+	needRow := keyCol == nil
+	for _, a := range gb.Aggs {
+		if a.Func != Count {
+			needRow = true
+		}
+	}
+	scratch := vs.rowScratch(len(b.Cols) + 1)
+	for i := 0; i < b.N; i++ {
+		var row Row
+		if needRow {
+			row = b.ReadRow(i, scratch)
+		}
+		var k any
+		if keyCol != nil {
+			k = keyCol.Box[keyCol.Pos(i)]
+		} else {
+			k = gb.Key(row)
+		}
+		g := m[k]
+		if g == nil {
+			g = &groupState{key: k, vals: make([]float64, len(gb.Aggs))}
+			for gi, a := range gb.Aggs {
+				switch a.Func {
+				case Min:
+					g.vals[gi] = 1e308
+				case Max:
+					g.vals[gi] = -1e308
+				}
+			}
+			m[k] = g
+		}
+		g.n++
+		for gi, a := range gb.Aggs {
+			switch a.Func {
+			case Count:
+			case Sum:
+				g.vals[gi] += a.Arg(row)
+			case Min:
+				if v := a.Arg(row); v < g.vals[gi] {
+					g.vals[gi] = v
+				}
+			case Max:
+				if v := a.Arg(row); v > g.vals[gi] {
+					g.vals[gi] = v
 				}
 			}
 		}

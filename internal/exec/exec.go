@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync/atomic"
 
 	"hierdb/internal/spill"
+	"hierdb/internal/vec"
 )
 
 // Row is one tuple. Columns are positional. It is an alias of the spill
@@ -30,6 +32,11 @@ type Table struct {
 	Name string
 	Cols []string
 	Rows []Row
+
+	// vcache caches the table's columnized form (see columnize). Tables
+	// are registered once and treated as immutable thereafter; callers
+	// that do mutate Rows get a rebuilt cache on the next scan.
+	vcache atomic.Pointer[tableVec]
 }
 
 // NumRows returns the table's cardinality.
@@ -46,6 +53,16 @@ func (t *Table) Col(name string) int {
 }
 
 // KeyFunc extracts a join key from a row. Keys must be comparable.
+//
+// Purity contract: a KeyFunc must be a pure projection or computation
+// over its input row — same row in, same key out, no reads of external
+// mutable state, and no behavior conditional on the *values* in the row
+// (indexing by position is fine). The executor probes each KeyFunc once
+// with a sentinel row to detect plain column projections (`r[i]`) and
+// then runs the typed columnar fast path for them; a KeyFunc that
+// returns different columns for different inputs would be mis-resolved.
+// Anything that computes (type-asserts, hashes, concatenates) safely
+// falls back to the per-row closure path.
 type KeyFunc func(Row) any
 
 // KeyCol returns a KeyFunc selecting column i.
@@ -59,8 +76,14 @@ type Node interface {
 }
 
 // Scan reads a table, optionally filtering rows.
+//
+// Preds are vectorized column predicates evaluated before Filter as
+// typed per-column loops over the columnar scan — prefer them over an
+// equivalent Filter closure on hot paths. Filter (when non-nil) then
+// runs per surviving row; both must pass for a row to flow.
 type Scan struct {
 	Table  *Table
+	Preds  []vec.Pred
 	Filter func(Row) bool
 }
 
@@ -285,12 +308,22 @@ func runOneShot(workers int, submit func(*Pool) (*Handle, error)) ([]Row, *Stats
 	if err != nil {
 		return nil, nil, err
 	}
-	var out []Row
+	// Buffer the batches first (they are already materialized), then
+	// carve the row slice once at the exact total — a one-shot caller
+	// pays no growslice churn on large results.
+	var batches []*vec.Batch
+	total := 0
 	for batch := range h.Out() {
-		out = append(out, batch...)
+		batches = append(batches, batch)
+		total += batch.N
 	}
 	if err := h.Err(); err != nil {
 		return nil, nil, err
+	}
+	out := make([]Row, 0, total)
+	var arena vec.Arena
+	for _, batch := range batches {
+		out = batch.AppendRows(out, &arena)
 	}
 	return out, h.Stats(), nil
 }

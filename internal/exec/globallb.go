@@ -244,21 +244,24 @@ func (mq *mquery) solicit(thief, fq *query, node int) *stealOffer {
 
 // shipEstimate prices acquiring the sampled activations: the rows
 // themselves plus the hash-table buckets their keys touch that the thief
-// has not already cached. Activation row slices are immutable once
+// has not already cached. Activation batches are immutable once
 // emitted, and build hash tables are complete before any probe runs, so
-// no locks are needed.
+// no locks are needed. Key hashing runs vectorized over each sampled
+// batch with a throwaway scratch (this is the cold steal path).
 func (mq *mquery) shipEstimate(thief *query, op *pop, acts []*activation) int64 {
 	var cache bucketCache
 	if c := thief.ops[op.id].cache.Load(); c != nil {
 		cache = *c
 	}
 	key := op.join.ProbeKey
+	var vs vecScratch
 	var bytes int64
 	var seen map[int]bool
 	for _, a := range acts {
-		bytes += int64(len(a.rows)) * nominalTupleBytes
-		for _, row := range a.rows {
-			g := hashKey(key(row), mq.buckets)
+		bytes += int64(a.b.N) * nominalTupleBytes
+		hs := keyHashes(a.b, op.keyCol, key, &vs)
+		for i := 0; i < a.b.N; i++ {
+			g := int(hs[i] % uint64(mq.buckets))
 			owner := g % mq.n
 			if owner == thief.node || seen[g] || cache[g] != nil {
 				continue
@@ -297,13 +300,15 @@ func popOldestLocked(or *opRun, n int) []*activation {
 	return acts
 }
 
-// acquireBuckets copies into the thief's node-local cache every remote
-// hash-table bucket the stolen rows will probe, pricing the copies as
-// shipped bytes. Buckets already cached by an earlier steal cost
-// nothing (§4's stolen-queue cache). The bucket index is genuinely
-// copied — the benefit/overhead score models a real cost — while row
-// storage stays shared in-process. Single writer per fragment (rounds
-// are single-flight), readers go through the atomic pointer.
+// acquireBuckets maps into the thief's node-local cache every remote
+// hash-table bucket the stolen rows will probe, pricing the transfers
+// as shipped bytes. Buckets already cached by an earlier steal cost
+// nothing (§4's stolen-queue cache). A cached bucket shares the owner's
+// stripe store — stores are immutable once the build barrier passes and
+// probes begin, so sharing is safe in-process, while the
+// benefit/overhead score still charges the bytes a real network ship
+// would move. Single writer per fragment (rounds are single-flight),
+// readers go through the atomic pointer.
 func (q *query) acquireBuckets(op *pop, acts []*activation) (copied int, bytes int64) {
 	mq := q.mq
 	po := q.ops[op.id]
@@ -313,26 +318,24 @@ func (q *query) acquireBuckets(op *pop, acts []*activation) (copied int, bytes i
 	}
 	var fresh bucketCache
 	key := op.join.ProbeKey
+	var vs vecScratch
 	for _, a := range acts {
-		for _, row := range a.rows {
-			g := hashKey(key(row), mq.buckets)
+		hs := keyHashes(a.b, op.keyCol, key, &vs)
+		for i := 0; i < a.b.N; i++ {
+			g := int(hs[i] % uint64(mq.buckets))
 			owner := g % mq.n
 			if owner == q.node || old[g] != nil || fresh[g] != nil {
 				continue
 			}
 			src := mq.frags[owner].ops[op.partner.id]
 			stripe := src.stripes[g/mq.n]
-			cp := make(map[any][]Row, len(stripe))
-			for k, v := range stripe {
-				cp[k] = v
-			}
 			if fresh == nil {
 				fresh = make(bucketCache, len(old)+4)
 				for g2, m := range old {
 					fresh[g2] = m
 				}
 			}
-			fresh[g] = cp
+			fresh[g] = stripe
 			copied++
 			bytes += int64(src.stripeRows[g/mq.n]) * nominalTupleBytes
 		}

@@ -11,7 +11,19 @@ import (
 	"testing"
 
 	"hierdb/internal/leaktest"
+	"hierdb/internal/vec"
 )
+
+// drainRows consumes a handle's columnar output stream and materializes
+// it as rows — the test-side equivalent of the facade's Collect.
+func drainRows(h *Handle) []Row {
+	var out []Row
+	var arena vec.Arena
+	for b := range h.Out() {
+		out = b.AppendRows(out, &arena)
+	}
+	return out
+}
 
 // checkQueryHygiene registers the suite's goroutine-leak check. Call it
 // before creating pools or engines: cleanups run LIFO, so the check
@@ -35,7 +47,7 @@ func verifyIdle(t *testing.T, submit submitFunc) {
 	}
 	n := 0
 	for batch := range h.Out() {
-		n += len(batch)
+		n += batch.N
 	}
 	if err := h.Err(); err != nil || n != 1000 {
 		t.Fatalf("post-incident query: %d rows, err %v", n, err)

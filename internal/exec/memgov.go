@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"hierdb/internal/spill"
+	"hierdb/internal/vec"
 )
 
 const (
@@ -81,11 +82,11 @@ type spillPart struct {
 }
 
 // spillPhase is the in-flight partition join: partition part's build
-// side loaded into an in-memory table, charged bytes against the
-// fragment budget until the partition's probes complete.
+// side loaded into an in-memory columnar store, charged bytes against
+// the fragment budget until the partition's probes complete.
 type spillPhase struct {
 	part  spillPart
-	table map[any][]Row
+	store *stripeStore
 	bytes int64
 }
 
@@ -157,8 +158,16 @@ func approxRowBytes(r Row) int64 {
 // salt. Every salt level uses an independent mix of the base key hash,
 // so an oversized partition genuinely splits when re-partitioned.
 func spillPartIndex(k any, salt uint64, nparts int) int {
-	h := mix64(keyHash64(k) ^ (salt+1)*0x9e3779b97f4a7c15)
-	return int(h % uint64(nparts))
+	return spillPartIndexH(keyHash64(k), salt, nparts)
+}
+
+// spillPartIndexH is spillPartIndex over a precomputed keyHash64 — the
+// vectorized kernels hash a key column once and reuse the hashes for
+// stripe routing and partition indexing.
+//
+//hierdb:hotpath
+func spillPartIndexH(h, salt uint64, nparts int) int {
+	return int(mix64(h^(salt+1)*0x9e3779b97f4a7c15) % uint64(nparts))
 }
 
 // spillFail aborts the query with a spill I/O or encoding error. Called
@@ -209,10 +218,23 @@ func (q *query) newSpillFile(name string) (*spill.File, error) {
 	return f, nil
 }
 
-// spillAppend writes one batch to a spill file, keeping the query's
-// spilled-bytes counter.
+// spillAppend writes one row batch to a spill file (row codec; used by
+// the group-by partial spill), keeping the query's spilled-bytes
+// counter.
 func (q *query) spillAppend(f *spill.File, rows []Row) error {
 	ref, err := f.Append(rows)
+	if err != nil {
+		return err
+	}
+	q.spilledBytes.Add(ref.Len)
+	return nil
+}
+
+// spillAppendCols writes one columnar batch to a spill file (columnar
+// codec; the join spill path), keeping the query's spilled-bytes
+// counter.
+func (q *query) spillAppendCols(f *spill.File, b *vec.Batch) error {
+	ref, err := f.AppendCols(b)
 	if err != nil {
 		return err
 	}
@@ -247,19 +269,37 @@ func (q *query) spilled(probeOp *pop) bool {
 	return sp != nil && sp.active.Load()
 }
 
-// spillRows hash-partitions one batch into the given partition files.
-func (q *query) spillRows(files []*spill.File, key KeyFunc, salt uint64, rows []Row) error {
+// spillBatch hash-partitions one batch into the given partition files:
+// key hashes are computed vectorized (typed loop when the key column
+// resolved) and each partition's selection view is encoded with the
+// columnar codec.
+func (q *query) spillBatch(files []*spill.File, keyCol int, key KeyFunc, salt uint64, b *vec.Batch, vs *vecScratch) error {
+	hs := keyHashes(b, keyCol, key, vs)
+	return q.spillBatchSel(files, b, nil, hs, salt)
+}
+
+// spillBatchSel is spillBatch over a subset of b's logical rows (sel
+// nil = all) with precomputed key hashes.
+func (q *query) spillBatchSel(files []*spill.File, b *vec.Batch, sel []int32, hs []uint64, salt uint64) error {
 	n := len(files)
-	parts := make([][]Row, n)
-	for _, row := range rows {
-		d := spillPartIndex(key(row), salt, n)
-		parts[d] = append(parts[d], row)
+	parts := make([][]int32, n)
+	if sel == nil {
+		for i := 0; i < b.N; i++ {
+			d := spillPartIndexH(hs[i], salt, n)
+			parts[d] = append(parts[d], int32(i))
+		}
+	} else {
+		for _, li := range sel {
+			d := spillPartIndexH(hs[li], salt, n)
+			parts[d] = append(parts[d], li)
+		}
 	}
-	for d, chunk := range parts {
-		if len(chunk) == 0 {
+	var arena vec.Arena
+	for d, psel := range parts {
+		if len(psel) == 0 {
 			continue
 		}
-		if err := q.spillAppend(files[d], chunk); err != nil {
+		if err := q.spillAppendCols(files[d], vec.Select(b, psel, &arena)); err != nil {
 			return err
 		}
 	}
@@ -273,42 +313,63 @@ func (q *query) spillRows(files []*spill.File, key KeyFunc, salt uint64, rows []
 // racing the transition divert rows whose stripe was already drained
 // (stripeSpilled, read under the stripe lock) to the partition files,
 // so no row is lost between draining and the active flag flipping.
-func (q *query) buildGoverned(or *opRun, rows []Row) error {
+func (q *query) buildGoverned(or *opRun, b *vec.Batch, w int) error {
 	sp := or.spill
-	key := or.op.join.BuildKey
+	op := or.op
+	key := op.join.BuildKey
+	vs := &q.vscratch[w]
 	if sp.active.Load() {
-		return q.spillRows(sp.build, key, 0, rows)
+		return q.spillBatch(sp.build, op.keyCol, key, 0, b, vs)
 	}
-	multi := q.mq != nil
-	var nb, n int
-	if multi {
-		nb, n = q.mq.buckets, q.mq.n
+	hs := keyHashes(b, op.keyCol, key, vs)
+	var keys []any
+	if op.keyCol < 0 {
+		keys = vs.keys
+	}
+	stripes := len(or.stripes)
+	if cap(vs.perDest) < stripes {
+		vs.perDest = make([][]int32, stripes)
+	}
+	per := vs.perDest[:stripes]
+	for s := range per {
+		per[s] = per[s][:0]
+	}
+	if q.mq != nil {
+		nb, n := uint64(q.mq.buckets), q.mq.n
+		for i := 0; i < b.N; i++ {
+			s := int(hs[i]%nb) / n
+			per[s] = append(per[s], int32(i))
+		}
+	} else {
+		st := uint64(q.opt.Stripes)
+		for i := 0; i < b.N; i++ {
+			per[hs[i]%st] = append(per[hs[i]%st], int32(i))
+		}
 	}
 	var add int64
-	var diverted []Row
-	for _, row := range rows {
-		k := key(row)
-		var s int
-		if multi {
-			s = hashKey(k, nb) / n
-		} else {
-			s = hashKey(k, q.opt.Stripes)
+	var diverted []int32
+	for s := range per {
+		sel := per[s]
+		if len(sel) == 0 {
+			continue
 		}
 		or.locks[s].Lock()
 		if or.stripeSpilled[s] {
 			or.locks[s].Unlock()
-			diverted = append(diverted, row)
+			diverted = append(diverted, sel...)
 			continue
 		}
-		or.stripes[s][k] = append(or.stripes[s][k], row)
-		or.stripeRows[s]++
+		or.stripes[s].insertSel(b, sel, keys)
+		or.stripeRows[s] += len(sel)
 		or.locks[s].Unlock()
-		add += approxRowBytes(row) + hashEntryBytes
+		for _, li := range sel {
+			add += batchRowBytes(b, int(li)) + hashEntryBytes
+		}
 	}
 	if len(diverted) > 0 {
 		// The transition published the partition files before marking any
 		// stripe spilled, and we saw the mark under the stripe lock.
-		if err := q.spillRows(sp.build, key, 0, diverted); err != nil {
+		if err := q.spillBatchSel(sp.build, b, diverted, hs, 0); err != nil {
 			return err
 		}
 	}
@@ -319,8 +380,8 @@ func (q *query) buildGoverned(or *opRun, rows []Row) error {
 }
 
 // spillTransition switches a governed join to partitioned execution:
-// create the partition files, drain the in-memory stripes into them,
-// refund their charge, and flip active. Single-flight via sp.mu.
+// create the partition files, drain the in-memory stripe stores into
+// them, refund their charge, and flip active. Single-flight via sp.mu.
 func (q *query) spillTransition(or *opRun) error {
 	sp := or.spill
 	sp.mu.Lock()
@@ -334,25 +395,33 @@ func (q *query) spillTransition(or *opRun) error {
 		return err
 	}
 	key := or.op.join.BuildKey
+	var vs vecScratch
 	var freed int64
 	for s := range or.stripes {
 		or.locks[s].Lock()
-		m := or.stripes[s]
+		ss := or.stripes[s]
 		or.stripes[s] = nil
 		or.stripeRows[s] = 0
 		or.stripeSpilled[s] = true
 		or.locks[s].Unlock()
 		// Encoding runs outside the stripe lock: the spilled mark diverts
 		// any later insert for this stripe to the partition files.
-		for _, bucket := range m {
-			for _, chunk := range batchRows(bucket, q.opt.Batch) {
-				if err := q.spillRows(sp.build, key, 0, chunk); err != nil {
-					return err
-				}
+		if ss == nil || ss.rows == 0 {
+			continue
+		}
+		sealed := ss.app.Batch()
+		hs := keyHashes(sealed, ss.keyCol, key, &vs)
+		for lo := 0; lo < sealed.N; lo += q.opt.Batch {
+			hi := lo + q.opt.Batch
+			if hi > sealed.N {
+				hi = sealed.N
 			}
-			for _, row := range bucket {
-				freed += approxRowBytes(row) + hashEntryBytes
+			if err := q.spillBatchSel(sp.build, sealed, vec.Ident(hi)[lo:hi], hs, 0); err != nil {
+				return err
 			}
+		}
+		for i := 0; i < sealed.N; i++ {
+			freed += batchRowBytes(sealed, i) + hashEntryBytes
 		}
 	}
 	q.unchargeMem(freed)
@@ -449,23 +518,32 @@ func (q *query) processSpillLoad(a *activation) (outs []*activation) {
 		return nil // pending grew; the next pend==0 advance picks it up
 	}
 	key := a.op.join.BuildKey
-	table := make(map[any][]Row)
+	keyCol := a.op.partner.keyCol
+	// Decoded batches may carry per-batch kinds (an all-null column
+	// decodes as Any), so the partition store indexes boxed — the
+	// semantic reference — with schema discovery left to the appender.
+	store := newStripeStore(nil, idxBoxed, keyCol, int(part.build.Rows()))
+	var vs vecScratch
 	var bytes int64
 	for _, ref := range part.build.Refs() {
-		rows, err := part.build.ReadBatch(ref)
+		db, err := part.build.ReadCols(ref)
 		if err != nil {
 			q.spillFail(err)
 			return nil
 		}
-		for _, row := range rows {
-			k := key(row)
-			table[k] = append(table[k], row)
-			bytes += approxRowBytes(row) + hashEntryBytes
+		var keys []any
+		if keyCol < 0 {
+			keyHashes(db, keyCol, key, &vs) // fills the boxed key scratch
+			keys = vs.keys
+		}
+		store.insertSel(db, vec.Ident(db.N)[:db.N], keys)
+		for i := 0; i < db.N; i++ {
+			bytes += batchRowBytes(db, i) + hashEntryBytes
 		}
 	}
 	q.chargeMem(bytes) // may exceed at the depth cap; accepted
 	q.spillPhases.Add(1)
-	phase := &spillPhase{part: part, table: table, bytes: bytes}
+	phase := &spillPhase{part: part, store: store, bytes: bytes}
 	sp.mu.Lock()
 	sp.cur = phase
 	sp.mu.Unlock()
@@ -487,22 +565,23 @@ func (q *query) repartition(sp *joinSpill, probeOp *pop, part spillPart) error {
 	if err != nil {
 		return err
 	}
-	split := func(src *spill.File, dst []*spill.File, key KeyFunc) error {
+	var vs vecScratch
+	split := func(src *spill.File, dst []*spill.File, keyCol int, key KeyFunc) error {
 		for _, ref := range src.Refs() {
-			rows, err := src.ReadBatch(ref)
+			db, err := src.ReadCols(ref)
 			if err != nil {
 				return err
 			}
-			if err := q.spillRows(dst, key, salt, rows); err != nil {
+			if err := q.spillBatch(dst, keyCol, key, salt, db, &vs); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := split(part.build, builds, probeOp.join.BuildKey); err != nil {
+	if err := split(part.build, builds, probeOp.partner.keyCol, probeOp.join.BuildKey); err != nil {
 		return err
 	}
-	if err := split(part.probe, probes, probeOp.join.ProbeKey); err != nil {
+	if err := split(part.probe, probes, probeOp.keyCol, probeOp.join.ProbeKey); err != nil {
 		return err
 	}
 	part.build.Close()
@@ -518,42 +597,37 @@ func (q *query) repartition(sp *joinSpill, probeOp *pop, part spillPart) error {
 }
 
 // processSpillProbe decodes one spilled probe batch and probes it
-// against the loaded partition table, emitting downstream batches (or
-// result rows at the root) exactly like the in-memory probe path.
-func (q *query) processSpillProbe(a *activation, w int) (outs []*activation, results []Row) {
-	rows, err := a.spill.file.ReadBatch(a.spill.ref)
+// against the loaded partition store, emitting downstream batches (or
+// a result batch at the root) exactly like the in-memory probe path.
+func (q *query) processSpillProbe(a *activation, w int) (outs []*activation, results *vec.Batch) {
+	pb, err := a.spill.file.ReadCols(a.spill.ref)
 	if err != nil {
 		q.spillFail(err)
 		return nil, nil
 	}
-	table := a.spill.phase.table
-	key := a.op.join.ProbeKey
-	combine := a.op.join.Combine
-	arena := &q.arenas[w]
-	isRoot := a.op == q.p.root
-	var em emitter
-	if !isRoot {
-		em = q.newEmitter(a.op.consumer, &outs)
+	ss := a.spill.phase.store
+	vs := &q.vscratch[w]
+	keyCol := a.op.keyCol
+	var keys []any
+	if keyCol < 0 {
+		keyHashes(pb, keyCol, a.op.join.ProbeKey, vs)
+		keys = vs.keys
 	}
-	for _, row := range rows {
-		for _, b := range table[key(row)] {
-			var out Row
-			if combine != nil {
-				out = combine(row, b)
-			} else {
-				out = arena.concat(row, b)
-			}
-			if isRoot {
-				results = append(results, out)
-				continue
-			}
-			em.add(out)
+	var kc *vec.Col
+	if keyCol >= 0 && keyCol < len(pb.Cols) {
+		kc = &pb.Cols[keyCol]
+	}
+	vs.probeRows = vs.probeRows[:0]
+	vs.bstores = vs.bstores[:0]
+	vs.bpos = vs.bpos[:0]
+	for i := 0; i < pb.N; i++ {
+		for _, pos := range ss.lookup(kc, keys, i) {
+			vs.probeRows = append(vs.probeRows, int32(i))
+			vs.bstores = append(vs.bstores, ss)
+			vs.bpos = append(vs.bpos, pos)
 		}
 	}
-	if !isRoot {
-		em.flush()
-	}
-	return outs, results
+	return q.finishProbe(a, pb, w)
 }
 
 // governGroupPartial charges worker w's group-by partial growth and

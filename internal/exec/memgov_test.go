@@ -36,10 +36,7 @@ func runGoverned(t *testing.T, plan Node, opt Options) ([]Row, *Stats) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out []Row
-	for b := range h.Out() {
-		out = append(out, b...)
-	}
+	out := drainRows(h)
 	if err := h.Err(); err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"hierdb/internal/vec"
 )
 
 // Nodes is a multi-node engine: n node-local worker pools behind one
@@ -34,7 +36,7 @@ type Nodes struct {
 	sem     chan struct{} // admission slots; nil = unlimited
 
 	mu     sync.Mutex
-	parts  map[*Table][][]Row
+	parts  map[*Table][]*vec.Batch
 	live   map[*mquery]struct{}
 	nextID int64
 	closed bool
@@ -70,7 +72,7 @@ func NewNodes(nodes, workers, maxConcurrent int) (*Nodes, error) {
 		workers = 4
 	}
 	ns.workers = workers
-	ns.parts = make(map[*Table][][]Row)
+	ns.parts = make(map[*Table][]*vec.Batch)
 	ns.live = make(map[*mquery]struct{})
 	if maxConcurrent > 0 {
 		ns.sem = make(chan struct{}, maxConcurrent)
@@ -95,15 +97,16 @@ func (ns *Nodes) NodeCount() int { return ns.n }
 func (ns *Nodes) Workers() int { return ns.workers }
 
 // Partition returns (computing and caching on first use) the engine's
-// hash partition of a table: n slices, row i assigned by a hash of its
-// position, so partitions are balanced regardless of key distribution.
-// The table's rows must not be mutated once partitioned. The cache
-// lives for the engine's lifetime — only registration-time tables (the
-// DB catalog) should go through Partition; query-time partitioning of
-// other tables uses partitionFor, which does not cache.
-func (ns *Nodes) Partition(t *Table) [][]Row {
+// hash partition of a table: n columnar views over the table's shared
+// columnization, row i assigned by a hash of its position, so
+// partitions are balanced regardless of key distribution. The table's
+// rows must not be mutated once partitioned. The cache lives for the
+// engine's lifetime — only registration-time tables (the DB catalog)
+// should go through Partition; query-time partitioning of other tables
+// uses partitionFor, which does not cache.
+func (ns *Nodes) Partition(t *Table) []*vec.Batch {
 	if ns.n == 1 {
-		return [][]Row{t.Rows}
+		return []*vec.Batch{columnize(t)}
 	}
 	ns.mu.Lock()
 	if p, ok := ns.parts[t]; ok {
@@ -113,7 +116,7 @@ func (ns *Nodes) Partition(t *Table) [][]Row {
 	ns.mu.Unlock()
 	// Partition outside the engine mutex — a large table must not stall
 	// concurrent submits. Two racers compute twice; first store wins.
-	p := hashPartition(t.Rows, ns.n)
+	p := hashPartition(t, ns.n)
 	ns.mu.Lock()
 	if prev, ok := ns.parts[t]; ok {
 		p = prev
@@ -128,25 +131,33 @@ func (ns *Nodes) Partition(t *Table) [][]Row {
 // cache, transient ones are partitioned per query without caching (an
 // engine-lifetime cache keyed by *Table would otherwise grow without
 // bound for callers submitting plans over throwaway tables).
-func (ns *Nodes) partitionFor(t *Table) [][]Row {
+func (ns *Nodes) partitionFor(t *Table) []*vec.Batch {
 	ns.mu.Lock()
 	if p, ok := ns.parts[t]; ok {
 		ns.mu.Unlock()
 		return p
 	}
 	ns.mu.Unlock()
-	return hashPartition(t.Rows, ns.n)
+	return hashPartition(t, ns.n)
 }
 
-func hashPartition(rows []Row, n int) [][]Row {
-	p := make([][]Row, n)
-	per := len(rows)/n + 1
-	for i := range p {
-		p[i] = make([]Row, 0, per)
+// hashPartition builds n index views over the table's columnization —
+// no row is copied, each partition shares the table's column storage.
+func hashPartition(t *Table, n int) []*vec.Batch {
+	b := columnize(t)
+	idx := make([][]int32, n)
+	per := b.N/n + 1
+	for d := range idx {
+		idx[d] = make([]int32, 0, per)
 	}
-	for i, r := range rows {
+	for i := 0; i < b.N; i++ {
 		d := int(mix64(uint64(i)) % uint64(n))
-		p[d] = append(p[d], r)
+		idx[d] = append(idx[d], int32(i))
+	}
+	var a vec.Arena
+	p := make([]*vec.Batch, n)
+	for d := range p {
+		p[d] = vec.Select(b, idx[d], &a)
 	}
 	return p
 }
@@ -185,6 +196,7 @@ func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options
 	if err != nil {
 		return nil, err
 	}
+	annotateVec(phys)
 	if ns.sem != nil {
 		select {
 		case ns.sem <- struct{}{}:
@@ -202,9 +214,9 @@ func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options
 		buckets:   ns.n * opt.Stripes,
 		ctx:       qctx,
 		cancel:    qcancel,
-		sink:      make(chan []Row, 2*opt.Workers*ns.n),
+		sink:      make(chan *vec.Batch, 2*opt.Workers*ns.n),
 		finished:  make(chan struct{}),
-		scanParts: make(map[int][][]Row),
+		scanParts: make(map[int][]*vec.Batch),
 		ops:       make([]mop, len(phys.ops)),
 	}
 	for _, op := range phys.ops {
@@ -327,11 +339,11 @@ type mquery struct {
 	// buckets is the global hash-bucket count n*Stripes; a key's owner
 	// node is hashKey(k, buckets) mod n.
 	buckets   int
-	scanParts map[int][][]Row // scan opID -> per-node partition
+	scanParts map[int][]*vec.Batch // scan opID -> per-node partition
 
 	ctx      context.Context //hierdb:ctx-in-struct coordinator lifetime: cancelled when the multi-node query retires
 	cancel   context.CancelFunc
-	sink     chan []Row
+	sink     chan *vec.Batch
 	finished chan struct{}
 	frags    []*query
 
@@ -384,11 +396,11 @@ func (mq *mquery) startChain(c int) bool {
 		}
 		if !fq.aborted {
 			or := fq.ops[driver.id]
-			rows := mq.scanParts[driver.id][i]
-			for lo := 0; lo < len(rows); lo += mq.opt.Morsel {
+			part := mq.scanParts[driver.id][i]
+			for lo := 0; lo < part.N; lo += mq.opt.Morsel {
 				hi := lo + mq.opt.Morsel
-				if hi > len(rows) {
-					hi = len(rows)
+				if hi > part.N {
+					hi = part.N
 				}
 				fq.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
 				total++
@@ -458,7 +470,9 @@ func (mq *mquery) deliverOuts(src *query, outs []*activation) {
 		for _, a := range outs {
 			if a.dest == d {
 				count++
-				rows += len(a.rows)
+				if a.b != nil { // spill activations carry refs, not batches
+					rows += a.b.N
+				}
 			}
 		}
 		if count == 0 {
@@ -585,7 +599,7 @@ func (mq *mquery) completeFrags() {
 // into the final output batches (returned non-nil), which the worker
 // parks on its fragment for the flusher machinery to stream. Called
 // from the worker loop without locks.
-func (mq *mquery) mergeFragment(q *query) [][]Row {
+func (mq *mquery) mergeFragment(q *query) []*vec.Batch {
 	part, err := q.mergedGroups()
 	if err != nil {
 		mq.fail(err)
@@ -604,7 +618,7 @@ func (mq *mquery) mergeFragment(q *query) [][]Row {
 		return nil
 	}
 	rows := groupsToRows(mergePartials(parts, mq.gb), mq.gb)
-	return batchRows(rows, mq.opt.Batch)
+	return batchRowsVec(rows, mq.opt.Batch)
 }
 
 // fail aborts the whole query: every fragment drops its queues and

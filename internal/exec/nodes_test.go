@@ -22,10 +22,7 @@ func newNodesT(t *testing.T, nodes, workers int) *Nodes {
 
 func collectHandle(t *testing.T, h *Handle) []Row {
 	t.Helper()
-	var out []Row
-	for b := range h.Out() {
-		out = append(out, b...)
-	}
+	out := drainRows(h)
 	if err := h.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +207,7 @@ func TestMultiNodeConcurrentQueries(t *testing.T) {
 			}
 			var rows int
 			for b := range h.Out() {
-				rows += len(b)
+				rows += b.N
 			}
 			if err := h.Err(); err != nil {
 				errs[i] = err
@@ -279,7 +276,7 @@ func TestMultiNodeStreamingAllocBound(t *testing.T) {
 		}
 		n := 0
 		for batch := range h.Out() {
-			n += len(batch)
+			n += batch.N
 		}
 		if err := h.Err(); err != nil {
 			t.Fatal(err)

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hierdb/internal/vec"
 )
 
 // ErrClosed is returned by Submit on a closed pool and reported by
@@ -105,6 +107,7 @@ func (p *Pool) submit(ctx context.Context, root Node, gb *GroupBy, opt Options) 
 	if err != nil {
 		return nil, err
 	}
+	annotateVec(phys)
 	if p.sem != nil {
 		select {
 		case p.sem <- struct{}{}:
@@ -312,7 +315,7 @@ func (p *Pool) runFlush(q *query, timer **time.Timer) bool {
 		select {
 		case q.sink <- batch:
 			stopParkTimer(t)
-			atomic.AddInt64(&q.stats.ResultRows, int64(len(batch)))
+			atomic.AddInt64(&q.stats.ResultRows, int64(batch.N))
 		case <-q.ctx.Done():
 			stopParkTimer(t)
 			return false
@@ -321,7 +324,7 @@ func (p *Pool) runFlush(q *query, timer **time.Timer) bool {
 			// dropped the queue meanwhile) for the next flush claim.
 			p.mu.Lock()
 			if !q.aborted {
-				q.parked = append([][]Row{batch}, q.parked...)
+				q.parked = append([]*vec.Batch{batch}, q.parked...)
 			}
 			p.mu.Unlock()
 			return true
@@ -412,7 +415,7 @@ func (p *Pool) worker(w int) {
 			p.mu.Unlock()
 			// All folds finished before done was set (pending counts hit
 			// zero under the mutex), so reading the partials is safe.
-			var batches [][]Row
+			var batches []*vec.Batch
 			var mergeErr error
 			if q.mq != nil {
 				// Per-node merge; the last node also merges the
@@ -423,7 +426,7 @@ func (p *Pool) worker(w int) {
 				if err != nil {
 					mergeErr = err
 				} else {
-					batches = batchRows(groupsToRows(groups, q.gb), q.opt.Batch)
+					batches = batchRowsVec(groupsToRows(groups, q.gb), q.opt.Batch)
 				}
 			}
 			p.mu.Lock()
@@ -536,11 +539,12 @@ type Handle struct {
 	mq *mquery
 }
 
-// Out is the stream of result batches. It is closed when the query
+// Out is the stream of result batches (columnar; use Batch.AppendRows
+// or Batch.ReadRow to materialize rows). It is closed when the query
 // retires (completion, cancellation, or pool close); check Err after.
 // The channel is bounded: an undrained handle eventually blocks the
 // workers feeding it, so consume it fully or Cancel.
-func (h *Handle) Out() <-chan []Row {
+func (h *Handle) Out() <-chan *vec.Batch {
 	if h.mq != nil {
 		return h.mq.sink
 	}

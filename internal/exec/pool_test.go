@@ -68,10 +68,7 @@ func TestPoolConcurrentQueries(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			var rows []Row
-			for batch := range h.Out() {
-				rows = append(rows, batch...)
-			}
+			rows := drainRows(h)
 			if err := h.Err(); err != nil {
 				t.Error(err)
 				return
@@ -374,10 +371,7 @@ func TestPoolGroupByStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got []Row
-	for batch := range h.Out() {
-		got = append(got, batch...)
-	}
+	got := drainRows(h)
 	if err := h.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +402,7 @@ func TestRootScanStreams(t *testing.T) {
 	}
 	n := 0
 	for batch := range h.Out() {
-		n += len(batch)
+		n += batch.N
 	}
 	if err := h.Err(); err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hierdb/internal/spill"
+	"hierdb/internal/vec"
 )
 
 type opKind int
@@ -33,6 +34,14 @@ type pop struct {
 	consumer *pop
 	chain    int
 	est      float64
+
+	// Columnar annotations (annotateVec): the operator's output column
+	// kinds (nil = unknown, downstream uses boxed fallbacks), the
+	// resolved key column in its input schema (-1 = closure fallback),
+	// and, for builds, the hash-index representation.
+	outKinds []vec.Kind
+	keyCol   int
+	idxKind  int
 }
 
 type physical struct {
@@ -167,11 +176,12 @@ func (p *physical) buildChains() {
 	p.chains = reordered
 }
 
-// activation is a self-contained unit of work: a scan morsel, a batch of
-// pipelined rows, or a spill-phase step of a memory-governed join.
+// activation is a self-contained unit of work: a scan morsel, a batch
+// of pipelined columns, or a spill-phase step of a memory-governed
+// join.
 type activation struct {
-	op   *pop
-	rows []Row
+	op *pop
+	b  *vec.Batch
 	// morsel bounds for scans
 	lo, hi int
 	// dest is the node a routed batch is bound for (multi-node queries
@@ -192,8 +202,9 @@ type opRun struct {
 	prodEnd bool            // no more input will arrive
 	done    bool
 
-	// hash table (build/probe pairs share via partner).
-	stripes []map[any][]Row
+	// hash table (build/probe pairs share via partner): one columnar
+	// stripe store per lock stripe.
+	stripes []*stripeStore
 	locks   []sync.Mutex //hierdb:lock stripe
 	// stripeRows counts tuples per stripe (guarded by the stripe lock);
 	// the steal protocol prices bucket shipping with it.
@@ -213,9 +224,11 @@ type opRun struct {
 	cache atomic.Pointer[bucketCache]
 }
 
-// bucketCache maps global bucket ids to hash-table buckets copied from
-// their owner node.
-type bucketCache = map[int]map[any][]Row
+// bucketCache maps global bucket ids to hash-table stripe stores
+// acquired from their owner node. The stores are immutable by the time
+// a steal can observe them (probing starts after the build barrier),
+// so acquisition shares them and accounts the shipped bytes.
+type bucketCache = map[int]*stripeStore
 
 // query is one in-flight execution on a Pool: a compiled plan, its
 // operator queues and chain cursor, a bounded sink channel streaming
@@ -236,7 +249,7 @@ type query struct {
 	// sink carries result batches to the consumer; its bound provides
 	// backpressure instead of materializing the full result set. Closed
 	// at retirement.
-	sink chan []Row
+	sink chan *vec.Batch
 	// finished is closed when the query is fully retired: no worker will
 	// touch it again, err and stats are final.
 	finished chan struct{}
@@ -255,7 +268,7 @@ type query struct {
 	// query's production (bounding parked at ~workers batches) and lets
 	// a single flusher worker do the blocking sends, so a stalled
 	// consumer captures at most one worker instead of the whole pool.
-	parked   [][]Row
+	parked   []*vec.Batch
 	flushing bool // a flusher worker is (or is about to be) draining parked
 
 	// Group-by delivery: once all chains are done, a worker claims the
@@ -287,10 +300,15 @@ type query struct {
 	shipIn, shipOut                                                  int64
 	stealRounds, steals, stolenActs, stolenBuckets, stolenBucketByte int64
 
-	// arenas holds one row arena per worker: result rows of the default
-	// combine are carved out of large chunks instead of allocated one by
-	// one (the dominant allocation of a probe-heavy plan).
-	arenas []rowArena
+	// varenas holds one columnar arena per worker: selection vectors,
+	// gather targets and materialized rows are carved from large chunks
+	// instead of allocated per batch; vscratch the matching reusable
+	// kernel state (hash vectors, match triples, routing lists).
+	varenas  []vec.Arena
+	vscratch []vecScratch
+	// gbKeyCol is the group-by key's resolved column in the root
+	// operator's output schema (-1 = closure fallback).
+	gbKeyCol int
 	// partials holds per-worker aggregation state when gb != nil; worker
 	// w touches only partials[w].
 	partials []map[any]*groupState
@@ -320,41 +338,13 @@ type query struct {
 	acts  int64
 }
 
-// rowArena bump-allocates row storage from fixed-size chunks. Carved rows
-// are capacity-capped, so a later append by the caller copies out instead
-// of clobbering a neighbour.
-type rowArena struct {
-	chunk []any
-}
-
-// arenaChunk is the arena chunk size in row slots (16 bytes each).
-const arenaChunk = 16 * 1024
-
-// concat returns a new row holding a then b, carved from the arena.
-//
-//hierdb:hotpath
-func (ar *rowArena) concat(a, b Row) Row {
-	need := len(a) + len(b)
-	if len(ar.chunk)+need > cap(ar.chunk) {
-		size := arenaChunk
-		if need > size {
-			size = need
-		}
-		ar.chunk = make([]any, 0, size)
-	}
-	n := len(ar.chunk)
-	ar.chunk = append(ar.chunk, a...)
-	ar.chunk = append(ar.chunk, b...)
-	return Row(ar.chunk[n:len(ar.chunk):len(ar.chunk)])
-}
-
 // newQuery builds per-query runtime state. nodes is the engine's node
 // count (key routing spreads a build table across nodes, so fragment
 // hash-table presizing divides by it); sink, when non-nil, is a
 // multi-node query's shared result channel — fragments then skip the
 // private sink and finished channels entirely (the coordinator's
 // finished is the one that closes).
-func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Context, cancel context.CancelFunc, nodes int, sink chan []Row) *query {
+func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Context, cancel context.CancelFunc, nodes int, sink chan *vec.Batch) *query {
 	q := &query{
 		pool:   p,
 		p:      phys,
@@ -365,16 +355,16 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 		sink:   sink,
 	}
 	if sink == nil {
-		q.sink = make(chan []Row, 2*opt.Workers)
+		q.sink = make(chan *vec.Batch, 2*opt.Workers)
 		q.finished = make(chan struct{})
 	}
 	for _, op := range phys.ops {
 		or := &opRun{op: op, queues: make([][]*activation, opt.Workers)}
 		if op.kind == opBuild {
-			or.stripes = make([]map[any][]Row, opt.Stripes)
+			or.stripes = make([]*stripeStore, opt.Stripes)
 			hint := int(op.est)/(opt.Stripes*nodes) + 1
 			for i := range or.stripes {
-				or.stripes[i] = make(map[any][]Row, hint)
+				or.stripes[i] = newStripeStore(op.outKinds, op.idxKind, op.keyCol, hint)
 			}
 			or.locks = make([]sync.Mutex, opt.Stripes)
 			or.stripeRows = make([]int, opt.Stripes)
@@ -385,7 +375,12 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 		}
 		q.ops = append(q.ops, or)
 	}
-	q.arenas = make([]rowArena, opt.Workers)
+	q.varenas = make([]vec.Arena, opt.Workers)
+	q.vscratch = make([]vecScratch, opt.Workers)
+	q.gbKeyCol = -1
+	if gb != nil && phys.root.outKinds != nil {
+		q.gbKeyCol = resolveKeyCol(gb.Key, len(phys.root.outKinds))
+	}
 	q.stats.PerWorker = make([]int64, opt.Workers)
 	if opt.Static {
 		q.allowed = make([]map[*pop]bool, opt.Workers)
@@ -440,15 +435,15 @@ func (q *query) startChainLocked(c int) {
 	chain := q.p.chains[c]
 	driver := chain[0]
 	or := q.ops[driver.id]
-	rows := driver.scan.Table.Rows
-	for lo := 0; lo < len(rows); lo += q.opt.Morsel {
+	total := q.scanSrc(driver).N
+	for lo := 0; lo < total; lo += q.opt.Morsel {
 		hi := lo + q.opt.Morsel
-		if hi > len(rows) {
-			hi = len(rows)
+		if hi > total {
+			hi = total
 		}
 		q.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
 	}
-	if len(rows) == 0 {
+	if total == 0 {
 		// Degenerate input: the scan is born finished.
 		or.prodEnd = true
 		q.opFinishedLocked(or)
@@ -629,8 +624,8 @@ const sinkParkDelay = time.Millisecond
 // without the pool mutex.
 //
 //hierdb:hotpath
-func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
-	if len(results) == 0 {
+func (q *query) deliver(w int, results *vec.Batch, timer **time.Timer) bool {
+	if results == nil || results.N == 0 {
 		return true
 	}
 	if q.gb != nil {
@@ -639,7 +634,7 @@ func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
 			m = make(map[any]*groupState)
 			q.partials[w] = m
 		}
-		foldGroups(m, q.gb, results)
+		q.foldGroupsBatch(m, w, results)
 		if q.memBudget > 0 {
 			if err := q.governGroupPartial(w); err != nil {
 				q.spillFail(err)
@@ -650,7 +645,7 @@ func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
 	}
 	select {
 	case q.sink <- results:
-		atomic.AddInt64(&q.stats.ResultRows, int64(len(results)))
+		atomic.AddInt64(&q.stats.ResultRows, int64(results.N))
 		return true
 	case <-q.ctx.Done():
 		return false
@@ -666,7 +661,7 @@ func (q *query) deliver(w int, results []Row, timer **time.Timer) bool {
 	select {
 	case q.sink <- results:
 		stopParkTimer(t)
-		atomic.AddInt64(&q.stats.ResultRows, int64(len(results)))
+		atomic.AddInt64(&q.stats.ResultRows, int64(results.N))
 		return true
 	case <-q.ctx.Done():
 		stopParkTimer(t)
@@ -737,90 +732,20 @@ func consumerKey(c *pop) KeyFunc {
 	return c.join.ProbeKey
 }
 
-// scanSrc is the row source of a scan operator: the node's table
+// scanSrc is the columnar source of a scan operator: the node's table
 // partition for a multi-node fragment, the whole table otherwise.
-func (q *query) scanSrc(op *pop) []Row {
+func (q *query) scanSrc(op *pop) *vec.Batch {
 	if q.mq != nil {
 		return q.mq.scanParts[op.id][q.node]
 	}
-	return op.scan.Table.Rows
-}
-
-// emitter batches rows bound for a consumer operator into activations.
-// A multi-node fragment routes each row to the fragment of the node
-// owning the row's partition key (one open batch per destination); a
-// single-node query keeps one local batch.
-type emitter struct {
-	q        *query
-	consumer *pop
-	outs     *[]*activation
-	key      KeyFunc // consumer partition key; nil = single-node
-	buckets  int
-	n        int
-	batch    []Row   // single-node open batch
-	batches  [][]Row // multi-node open batch per destination
-}
-
-func (q *query) newEmitter(consumer *pop, outs *[]*activation) emitter {
-	e := emitter{q: q, consumer: consumer, outs: outs}
-	if q.mq != nil {
-		e.key = consumerKey(consumer)
-		e.buckets = q.mq.buckets
-		e.n = q.mq.n
-		e.batches = make([][]Row, e.n)
-	}
-	return e
-}
-
-//hierdb:hotpath
-func (e *emitter) add(row Row) {
-	if e.key == nil {
-		if e.batch == nil {
-			e.batch = make([]Row, 0, e.q.opt.Batch)
-		}
-		e.batch = append(e.batch, row)
-		if len(e.batch) >= e.q.opt.Batch {
-			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: e.batch})
-			e.batch = nil
-		}
-		return
-	}
-	d := hashKey(e.key(row), e.buckets) % e.n
-	b := e.batches[d]
-	if b == nil {
-		b = make([]Row, 0, e.q.opt.Batch)
-	}
-	b = append(b, row)
-	if len(b) >= e.q.opt.Batch {
-		*e.outs = append(*e.outs, &activation{op: e.consumer, rows: b, dest: d})
-		e.batches[d] = nil
-		return
-	}
-	e.batches[d] = b
-}
-
-//hierdb:hotpath
-func (e *emitter) flush() {
-	if e.key == nil {
-		if len(e.batch) > 0 {
-			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: e.batch})
-			e.batch = nil
-		}
-		return
-	}
-	for d, b := range e.batches {
-		if len(b) > 0 {
-			*e.outs = append(*e.outs, &activation{op: e.consumer, rows: b, dest: d})
-			e.batches[d] = nil
-		}
-	}
+	return columnize(op.scan.Table)
 }
 
 // process executes one activation outside the scheduler lock. It returns
-// downstream batches and, for the root operator, result rows.
+// downstream batches and, for the root operator, a result batch.
 //
 //hierdb:hotpath
-func (q *query) process(a *activation, w int) (outs []*activation, results []Row) {
+func (q *query) process(a *activation, w int) (outs []*activation, results *vec.Batch) {
 	if a.spill != nil {
 		switch a.spill.kind {
 		case spillLoad:
@@ -829,124 +754,30 @@ func (q *query) process(a *activation, w int) (outs []*activation, results []Row
 			return q.processSpillProbe(a, w)
 		}
 	}
-	multi := q.mq != nil
 	switch a.op.kind {
 	case opScan:
-		s := a.op.scan
-		src := q.scanSrc(a.op)
-		if a.op.consumer == nil {
-			// Root scan: filtered rows are the result.
-			for _, row := range src[a.lo:a.hi] {
-				if s.Filter != nil && !s.Filter(row) {
-					continue
-				}
-				results = append(results, row)
-			}
-			break
-		}
-		em := q.newEmitter(a.op.consumer, &outs)
-		for _, row := range src[a.lo:a.hi] {
-			if s.Filter != nil && !s.Filter(row) {
-				continue
-			}
-			em.add(row)
-		}
-		em.flush()
+		return q.processScanVec(a, w)
 	case opBuild:
 		or := q.ops[a.op.id]
-		key := a.op.join.BuildKey
 		if q.memBudget > 0 {
-			if err := q.buildGoverned(or, a.rows); err != nil {
+			if err := q.buildGoverned(or, a.b, w); err != nil {
 				q.spillFail(err)
 			}
 			break
 		}
-		if multi {
-			// Rows were routed here by key ownership: global bucket
-			// g = hash(k) mod (nodes*Stripes), owner g mod nodes, local
-			// stripe g div nodes.
-			nb, n := q.mq.buckets, q.mq.n
-			for _, row := range a.rows {
-				k := key(row)
-				s := hashKey(k, nb) / n
-				or.locks[s].Lock()
-				or.stripes[s][k] = append(or.stripes[s][k], row)
-				or.stripeRows[s]++
-				or.locks[s].Unlock()
-			}
-			break
-		}
-		for _, row := range a.rows {
-			k := key(row)
-			s := hashKey(k, q.opt.Stripes)
-			or.locks[s].Lock()
-			or.stripes[s][k] = append(or.stripes[s][k], row)
-			or.stripeRows[s]++
-			or.locks[s].Unlock()
-		}
+		q.processBuildVec(a, w)
 	case opProbe:
 		bo := q.ops[a.op.partner.id]
 		if sp := bo.spill; sp != nil && sp.active.Load() {
 			// The build side spilled: probe input is partitioned to the
 			// join's probe spill files and joined partition-wise once the
 			// probe input is exhausted (spillNextLocked).
-			if err := q.spillRows(sp.probe, a.op.join.ProbeKey, 0, a.rows); err != nil {
+			if err := q.spillBatch(sp.probe, a.op.keyCol, a.op.join.ProbeKey, 0, a.b, &q.vscratch[w]); err != nil {
 				q.spillFail(err)
 			}
 			break
 		}
-		po := q.ops[a.op.id]
-		key := a.op.join.ProbeKey
-		combine := a.op.join.Combine
-		arena := &q.arenas[w]
-		isRoot := a.op == q.p.root
-		var em emitter
-		if !isRoot {
-			em = q.newEmitter(a.op.consumer, &outs)
-		}
-		var nb, n int
-		var cache bucketCache
-		if multi {
-			nb, n = q.mq.buckets, q.mq.n
-		}
-		for _, row := range a.rows {
-			k := key(row)
-			var matches []Row
-			if multi {
-				g := hashKey(k, nb)
-				if g%n == q.node {
-					matches = bo.stripes[g/n][k]
-				} else {
-					// A stolen row: its bucket was copied into this
-					// node's cache when the activation was acquired.
-					if cache == nil {
-						if c := po.cache.Load(); c != nil {
-							cache = *c
-						}
-					}
-					matches = cache[g][k]
-				}
-			} else {
-				s := hashKey(k, q.opt.Stripes)
-				matches = bo.stripes[s][k]
-			}
-			for _, b := range matches {
-				var out Row
-				if combine != nil {
-					out = combine(row, b)
-				} else {
-					out = arena.concat(row, b)
-				}
-				if isRoot {
-					results = append(results, out)
-					continue
-				}
-				em.add(out)
-			}
-		}
-		if !isRoot {
-			em.flush()
-		}
+		return q.processProbeVec(a, w)
 	}
 	return outs, results
 }

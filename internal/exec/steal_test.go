@@ -151,9 +151,7 @@ func TestStealStatsIsolatedPerQuery(t *testing.T) {
 				return
 			}
 			var got []Row
-			for b := range h.Out() {
-				got = append(got, b...)
-			}
+			got = drainRows(h)
 			if err := h.Err(); err != nil {
 				errs[i] = err
 				return

@@ -102,7 +102,7 @@ func TestStreamsBeforeCompletion(t *testing.T) {
 		t.Fatal(err)
 	}
 	first, ok := <-h.Out()
-	if !ok || len(first) == 0 {
+	if !ok || first.N == 0 {
 		t.Fatal("no first batch")
 	}
 	select {
@@ -110,9 +110,9 @@ func TestStreamsBeforeCompletion(t *testing.T) {
 		t.Fatal("query already retired when the first batch arrived: result was materialized, not streamed")
 	default:
 	}
-	n := len(first)
+	n := first.N
 	for batch := range h.Out() {
-		n += len(batch)
+		n += batch.N
 	}
 	if err := h.Err(); err != nil {
 		t.Fatal(err)
@@ -150,7 +150,7 @@ func TestStreamingSinkAllocBound(t *testing.T) {
 		}
 		n := 0
 		for batch := range h.Out() {
-			n += len(batch)
+			n += batch.N
 		}
 		if err := h.Err(); err != nil {
 			t.Fatal(err)
@@ -161,5 +161,47 @@ func TestStreamingSinkAllocBound(t *testing.T) {
 	})
 	if perRow := avg / rows; perRow > 0.5 {
 		t.Fatalf("sink path allocates %.2f allocs/row (avg %.0f total), want <= 0.5", perRow, avg)
+	}
+}
+
+// TestVectorBatchAllocBound is the columnar streaming alloc gate (run
+// by CI): a consumer that stays on the batch currency — counting rows
+// without ever materializing them — must see steady-state costs of the
+// vectorized pipeline only: arena-carved selection/gather storage and
+// batch-granular channel traffic, no per-row work at all. The bound is
+// an order tighter than the row-boundary sink gate above.
+func TestVectorBatchAllocBound(t *testing.T) {
+	pool, err := NewPool(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const rows = 200_000
+	build := tbl("b", 1000, func(i int) any { return i }, func(i int) any { return i })
+	probe := tbl("p", rows, func(i int) any { return i % 1000 }, func(i int) any { return i })
+	plan := Node(&Join{
+		Build:    &Scan{Table: build},
+		Probe:    &Scan{Table: probe},
+		BuildKey: KeyCol(0),
+		ProbeKey: KeyCol(0),
+	})
+	avg := testing.AllocsPerRun(3, func() {
+		h, err := pool.Submit(context.Background(), plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for batch := range h.Out() {
+			n += batch.N
+		}
+		if err := h.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != rows {
+			t.Fatalf("streamed %d rows", n)
+		}
+	})
+	if perRow := avg / rows; perRow > 0.05 {
+		t.Fatalf("vec streaming allocates %.3f allocs/row (avg %.0f total), want <= 0.05", perRow, avg)
 	}
 }

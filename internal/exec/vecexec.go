@@ -1,0 +1,826 @@
+package exec
+
+// Vectorized execution kernels: the columnar hot path of the engine.
+// Scans carve windows from columnized tables and evaluate predicates
+// as per-column loops, builds hash whole key columns and accumulate
+// typed per-stripe column stores, probes hash the probe key column,
+// walk typed indexes and gather matches by position instead of
+// constructing boxed rows. All row materialization funnels through
+// vec's AppendRows/ReadRow boundary (the one sanctioned boxing site —
+// and even there, values are copied interface words, never re-boxed).
+//
+// Hash parity: every kernel reproduces keyHash64 bit-for-bit (mix64
+// for the int family and float bits, FNV-1a for strings, and the
+// precomputed fmt-fallback hashes for nil/bool), so stripe routing,
+// node ownership and spill partitioning are identical to the row
+// engine's.
+
+import (
+	"math"
+
+	"hierdb/internal/vec"
+)
+
+// Precomputed key hashes for values the row engine hashes through the
+// fmt fallback of keyHash64 — computing them once keeps the vectorized
+// loops free of fmt.
+var (
+	hNil   = keyHash64(nil)
+	hTrue  = keyHash64(true)
+	hFalse = keyHash64(false)
+)
+
+// fnvString is FNV-1a over a string, matching hash/fnv (and therefore
+// keyHash64's string case) exactly.
+//
+//hierdb:hotpath
+func fnvString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// Key-column resolution
+// ---------------------------------------------------------------------
+
+// keyProbe is the sentinel planted in every column of a probe row to
+// discover which column a KeyFunc projects (see KeyFunc's purity
+// contract in exec.go).
+type keyProbe struct{ col int }
+
+// resolveKeyCol reports the column a KeyFunc selects, or -1 when the
+// function is not a plain column projection (it then runs as a per-row
+// closure over materialized scratch rows).
+func resolveKeyCol(key KeyFunc, width int) (col int) {
+	if key == nil || width <= 0 {
+		return -1
+	}
+	col = -1
+	defer func() {
+		// A key func that computes on its input (type asserts,
+		// arithmetic) panics on the sentinel: closure fallback.
+		_ = recover()
+	}()
+	row := make(Row, width)
+	for i := range row {
+		row[i] = keyProbe{i}
+	}
+	if kp, ok := key(row).(keyProbe); ok {
+		col = kp.col
+	}
+	return col
+}
+
+// Index representations of a build operator's hash table.
+const (
+	idxBoxed = iota // map[any] — exact Go map semantics for every key type
+	idxI64          // int-family keys, both sides the identical kind
+	idxStr          // string keys both sides
+)
+
+// annotateVec derives the columnar schema of every operator: output
+// kinds (nil when unknown — everything downstream then uses the boxed
+// fallbacks), resolved key columns, and the index representation of
+// each build. Runs once per submit, after compile.
+func annotateVec(p *physical) {
+	for _, op := range p.ops {
+		op.keyCol = -1
+	}
+	// Scans know their schema from the columnized table; walk ops in id
+	// order (inputs are created before their consumers).
+	for _, op := range p.ops {
+		switch op.kind {
+		case opScan:
+			tb := columnize(op.scan.Table)
+			op.outKinds = make([]vec.Kind, len(tb.Cols))
+			for i := range tb.Cols {
+				op.outKinds[i] = tb.Cols[i].Kind
+			}
+		case opBuild, opProbe:
+			in := producerOf(p, op)
+			var inKinds []vec.Kind
+			if in != nil {
+				inKinds = in.outKinds
+			}
+			var kf KeyFunc
+			if op.kind == opBuild {
+				kf = op.join.BuildKey
+			} else {
+				kf = op.join.ProbeKey
+			}
+			op.keyCol = resolveKeyCol(kf, len(inKinds))
+			if op.kind == opProbe {
+				// Probe output: probe columns keep their kinds; gathered
+				// build columns are boxed. Unknown when Combine rewrites
+				// rows or either input schema is unknown.
+				bld := op.partner
+				bin := producerOf(p, bld)
+				if op.join.Combine == nil && inKinds != nil && bin != nil && bin.outKinds != nil {
+					op.outKinds = make([]vec.Kind, 0, len(inKinds)+len(bin.outKinds))
+					op.outKinds = append(op.outKinds, inKinds...)
+					for range bin.outKinds {
+						op.outKinds = append(op.outKinds, vec.Any)
+					}
+				}
+			} else {
+				op.outKinds = inKinds
+			}
+		}
+	}
+	// Index representation: typed only when both sides' key columns are
+	// resolved to the identical int-family kind or both String — the
+	// boxed map is the semantic reference (cross-type inequality, NaN,
+	// ±0.0, nil keys), so anything else stays boxed.
+	for _, op := range p.ops {
+		if op.kind != opBuild {
+			continue
+		}
+		op.idxKind = idxBoxed
+		prb := op.partner
+		bk := keyColKind(p, op)
+		pk := keyColKind(p, prb)
+		if op.keyCol < 0 || prb.keyCol < 0 {
+			continue
+		}
+		if bk == pk {
+			switch {
+			case bk == vec.String:
+				op.idxKind = idxStr
+			case bk.IntFamily():
+				op.idxKind = idxI64
+			}
+		}
+	}
+}
+
+// producerOf finds the operator feeding op (nil for scans).
+func producerOf(p *physical, op *pop) *pop {
+	for _, o := range p.ops {
+		if o.consumer == op {
+			return o
+		}
+	}
+	return nil
+}
+
+// keyColKind is the kind of op's resolved key column in its input
+// schema (Any when unresolved or unknown).
+func keyColKind(p *physical, op *pop) vec.Kind {
+	if op.keyCol < 0 {
+		return vec.Any
+	}
+	in := producerOf(p, op)
+	if in == nil || in.outKinds == nil || op.keyCol >= len(in.outKinds) {
+		return vec.Any
+	}
+	return in.outKinds[op.keyCol]
+}
+
+// ---------------------------------------------------------------------
+// Table columnization
+// ---------------------------------------------------------------------
+
+// tableVec caches a table's columnized form alongside a fingerprint of
+// the row slice it was built from.
+type tableVec struct {
+	n     int
+	first *Row
+	b     *vec.Batch
+}
+
+// columnize returns the table's columnar form, cached on the table.
+// The cache is invalidated when the row slice changes identity or
+// length (tables are registered once and then immutable in practice).
+func columnize(t *Table) *vec.Batch {
+	var first *Row
+	if len(t.Rows) > 0 {
+		first = &t.Rows[0]
+	}
+	if tv := t.vcache.Load(); tv != nil && tv.n == len(t.Rows) && tv.first == first {
+		return tv.b
+	}
+	b := vec.FromRows(t.Rows)
+	t.vcache.Store(&tableVec{n: len(t.Rows), first: first, b: b})
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Per-worker scratch
+// ---------------------------------------------------------------------
+
+// vecScratch is one worker's reusable kernel state for one query —
+// grown to the high-water mark once, then allocation-free.
+type vecScratch struct {
+	hs        []uint64 // key hashes per logical row
+	keys      []any    // closure-extracted keys per logical row
+	sel       []int32  // predicate/filter survivors
+	row       Row      // ReadRow scratch (filters, keys, aggregates)
+	probeRows []int32  // probe match: logical probe row per match
+	bstores   []*stripeStore
+	bpos      []int32 // probe match: position in the matched store
+	outRows   []Row   // Combine outputs
+	perDest   [][]int32
+	destRows  []int32 // emit routing: dest per logical row
+}
+
+func (vs *vecScratch) hashes(n int) []uint64 {
+	if cap(vs.hs) < n {
+		vs.hs = make([]uint64, n)
+	}
+	vs.hs = vs.hs[:n]
+	return vs.hs
+}
+
+func (vs *vecScratch) keySlots(n int) []any {
+	if cap(vs.keys) < n {
+		vs.keys = make([]any, n)
+	}
+	vs.keys = vs.keys[:n]
+	return vs.keys
+}
+
+func (vs *vecScratch) rowScratch(w int) Row {
+	if cap(vs.row) < w {
+		vs.row = make(Row, w)
+	}
+	return vs.row[:0]
+}
+
+// ---------------------------------------------------------------------
+// Vectorized key hashing
+// ---------------------------------------------------------------------
+
+// keyHashes fills the scratch hash vector with keyHash64 of each
+// logical row's join key. With a resolved key column the loop is typed
+// and fmt-free; otherwise the key closure runs over a reused scratch
+// row and the boxed keys are retained in scratch for index lookups.
+//
+//hierdb:hotpath
+func keyHashes(b *vec.Batch, keyCol int, key KeyFunc, vs *vecScratch) []uint64 {
+	n := b.N
+	hs := vs.hashes(n)
+	if keyCol < 0 || keyCol >= len(b.Cols) {
+		ks := vs.keySlots(n)
+		scratch := vs.rowScratch(len(b.Cols) + 1)
+		for i := 0; i < n; i++ {
+			k := key(b.ReadRow(i, scratch))
+			ks[i] = k
+			hs[i] = keyHash64(k)
+		}
+		return hs
+	}
+	c := &b.Cols[keyCol]
+	switch {
+	case c.Kind.IntFamily():
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if c.NullAt(pos) {
+				hs[i] = hNil
+			} else {
+				hs[i] = mix64(uint64(c.I64[pos]))
+			}
+		}
+	case c.Kind == vec.String:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if c.NullAt(pos) {
+				hs[i] = hNil
+			} else {
+				hs[i] = fnvString(c.Str[pos])
+			}
+		}
+	case c.Kind == vec.Float64:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if c.NullAt(pos) {
+				hs[i] = hNil
+			} else {
+				hs[i] = mix64(math.Float64bits(c.F64[pos]))
+			}
+		}
+	case c.Kind == vec.Bool:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if c.NullAt(pos) {
+				hs[i] = hNil
+			} else if c.B[pos] {
+				hs[i] = hTrue
+			} else {
+				hs[i] = hFalse
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			hs[i] = keyHash64(c.Box[c.Pos(i)])
+		}
+	}
+	return hs
+}
+
+// ---------------------------------------------------------------------
+// Stripe stores (the build side's hash table)
+// ---------------------------------------------------------------------
+
+// stripeStore is one lock stripe of a join's hash table: an appender
+// accumulating the stored build rows as dense columns, plus an index
+// from key to storage positions. The index is typed (map[int64] or
+// map[string]) when both sides' key columns resolved to the identical
+// kind, boxed (map[any], the semantic reference) otherwise; null keys
+// live in a side list so nil==nil matching is preserved under typed
+// indexing.
+type stripeStore struct {
+	app     *vec.Appender
+	idxKind int
+	keyCol  int // key column in the stored schema; -1 = closure keys
+	m64     map[int64][]int32
+	mstr    map[string][]int32
+	many    map[any][]int32
+	nulls   []int32
+	rows    int
+}
+
+func newStripeStore(kinds []vec.Kind, idxKind, keyCol, hint int) *stripeStore {
+	ss := &stripeStore{
+		app:     vec.NewAppender(kinds, hint),
+		idxKind: idxKind,
+		keyCol:  keyCol,
+	}
+	if keyCol < 0 {
+		ss.idxKind = idxBoxed
+	}
+	switch ss.idxKind {
+	case idxI64:
+		ss.m64 = make(map[int64][]int32, hint)
+	case idxStr:
+		ss.mstr = make(map[string][]int32, hint)
+	default:
+		ss.many = make(map[any][]int32, hint)
+	}
+	return ss
+}
+
+// insertSel appends the logical rows of b listed in sel and indexes
+// their keys. keys holds closure-extracted keys per logical row (nil
+// when the key column is resolved). Caller holds the stripe lock.
+//
+//hierdb:hotpath
+func (ss *stripeStore) insertSel(b *vec.Batch, sel []int32, keys []any) {
+	base := int32(ss.app.Len())
+	ss.app.AppendRowsSel(b, sel)
+	ss.rows += len(sel)
+	var c *vec.Col
+	if ss.keyCol >= 0 && ss.keyCol < len(b.Cols) {
+		c = &b.Cols[ss.keyCol]
+	}
+	for j, li := range sel {
+		pos := base + int32(j)
+		switch {
+		case c != nil && ss.idxKind == idxI64:
+			cp := c.Pos(int(li))
+			if c.NullAt(cp) {
+				ss.nulls = append(ss.nulls, pos)
+			} else {
+				ss.m64[c.I64[cp]] = append(ss.m64[c.I64[cp]], pos)
+			}
+		case c != nil && ss.idxKind == idxStr:
+			cp := c.Pos(int(li))
+			if c.NullAt(cp) {
+				ss.nulls = append(ss.nulls, pos)
+			} else {
+				ss.mstr[c.Str[cp]] = append(ss.mstr[c.Str[cp]], pos)
+			}
+		case c != nil:
+			ss.many[c.Box[c.Pos(int(li))]] = append(ss.many[c.Box[c.Pos(int(li))]], pos)
+		default:
+			ss.many[keys[li]] = append(ss.many[keys[li]], pos)
+		}
+	}
+}
+
+// lookup returns the storage positions matching logical probe row li
+// of b, whose key column (or closure keys) mirror insertSel's.
+//
+//hierdb:hotpath
+func (ss *stripeStore) lookup(c *vec.Col, keys []any, li int) []int32 {
+	switch {
+	case c != nil && ss.idxKind == idxI64:
+		pos := c.Pos(li)
+		if c.NullAt(pos) {
+			return ss.nulls
+		}
+		return ss.m64[c.I64[pos]]
+	case c != nil && ss.idxKind == idxStr:
+		pos := c.Pos(li)
+		if c.NullAt(pos) {
+			return ss.nulls
+		}
+		return ss.mstr[c.Str[pos]]
+	case c != nil:
+		return ss.many[c.Box[c.Pos(li)]]
+	default:
+		return ss.many[keys[li]]
+	}
+}
+
+// rowAt materializes stored row pos from the store's columns, carving
+// from a (fresh storage: Combine callers may retain the row).
+func (ss *stripeStore) rowAt(pos int, a *vec.Arena) Row {
+	w := ss.app.Width()
+	row := a.Anys(w)[:0]
+	for ci := 0; ci < w; ci++ {
+		v := ss.app.Col(ci).Box[pos]
+		if vec.IsAbsent(v) {
+			break
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------
+// Batch windows and emission
+// ---------------------------------------------------------------------
+
+// window views logical rows [lo,hi) of b. Storage is never re-sliced;
+// dense columns get an identity-index window, indexed columns slice
+// their index (index slices, unlike storage, are position-free).
+//
+//hierdb:hotpath
+func window(b *vec.Batch, lo, hi int) *vec.Batch {
+	if lo == 0 && hi == b.N {
+		return b
+	}
+	out := &vec.Batch{Cols: make([]vec.Col, len(b.Cols)), N: hi - lo}
+	for ci := range b.Cols {
+		c := b.Cols[ci]
+		if c.Idx == nil {
+			c.Idx = vec.Ident(hi)[lo:hi]
+		} else {
+			c.Idx = c.Idx[lo:hi]
+		}
+		out.Cols[ci] = c
+	}
+	return out
+}
+
+// emitBatch hands a produced batch to consumer, chunked to the
+// pipeline granularity. A multi-node fragment first routes each row to
+// the node owning its partition key (the consumer's key over this
+// batch's schema), one batch stream per destination.
+//
+//hierdb:hotpath
+func (q *query) emitBatch(consumer *pop, b *vec.Batch, outs *[]*activation, vs *vecScratch, arena *vec.Arena) {
+	if b == nil || b.N == 0 {
+		return
+	}
+	if q.mq == nil {
+		for lo := 0; lo < b.N; lo += q.opt.Batch {
+			hi := lo + q.opt.Batch
+			if hi > b.N {
+				hi = b.N
+			}
+			*outs = append(*outs, &activation{op: consumer, b: window(b, lo, hi)})
+		}
+		return
+	}
+	nb, n := q.mq.buckets, q.mq.n
+	hs := keyHashes(b, consumer.keyCol, consumerKey(consumer), vs)
+	if cap(vs.perDest) < n {
+		vs.perDest = make([][]int32, n)
+	}
+	perDest := vs.perDest[:n]
+	for d := range perDest {
+		perDest[d] = perDest[d][:0]
+	}
+	for i := 0; i < b.N; i++ {
+		d := int(hs[i]%uint64(nb)) % n
+		perDest[d] = append(perDest[d], int32(i))
+	}
+	for d := 0; d < n; d++ {
+		sel := perDest[d]
+		if len(sel) == 0 {
+			continue
+		}
+		db := vec.Select(b, sel, arena)
+		for lo := 0; lo < db.N; lo += q.opt.Batch {
+			hi := lo + q.opt.Batch
+			if hi > db.N {
+				hi = db.N
+			}
+			*outs = append(*outs, &activation{op: consumer, b: window(db, lo, hi), dest: d})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Operator kernels
+// ---------------------------------------------------------------------
+
+// processScanVec runs one scan morsel: window the columnized source,
+// shrink the selection with the per-column predicates, then the row
+// filter closure over a reused scratch row, and emit (or return as
+// results for a root scan).
+//
+//hierdb:hotpath
+func (q *query) processScanVec(a *activation, w int) (outs []*activation, results *vec.Batch) {
+	s := a.op.scan
+	src := q.scanSrc(a.op)
+	b := window(src, a.lo, a.hi)
+	vs := &q.vscratch[w]
+	arena := &q.varenas[w]
+	if len(s.Preds) > 0 || s.Filter != nil {
+		if cap(vs.sel) < b.N {
+			vs.sel = make([]int32, 0, b.N)
+		}
+		sel := vec.ApplyPreds(b, s.Preds, nil, vs.sel[:0])
+		if s.Filter != nil {
+			scratch := vs.rowScratch(len(b.Cols) + 1)
+			kept := sel[:0]
+			for _, li := range sel {
+				if s.Filter(b.ReadRow(int(li), scratch)) {
+					kept = append(kept, li)
+				}
+			}
+			sel = kept
+		}
+		vs.sel = sel[:0]
+		if len(sel) == 0 {
+			return nil, nil
+		}
+		if len(sel) < b.N {
+			b = vec.Select(b, sel, arena)
+		}
+	}
+	if a.op.consumer == nil {
+		return nil, b
+	}
+	q.emitBatch(a.op.consumer, b, &outs, vs, arena)
+	return outs, nil
+}
+
+// processBuildVec inserts one routed batch into the join's striped
+// hash table: hash the key column once, group rows by stripe, then one
+// lock round per touched stripe.
+//
+//hierdb:hotpath
+func (q *query) processBuildVec(a *activation, w int) {
+	or := q.ops[a.op.id]
+	b := a.b
+	vs := &q.vscratch[w]
+	hs := keyHashes(b, a.op.keyCol, a.op.join.BuildKey, vs)
+	var keys []any
+	if a.op.keyCol < 0 {
+		keys = vs.keys
+	}
+	stripes := len(or.stripes)
+	if cap(vs.perDest) < stripes {
+		vs.perDest = make([][]int32, stripes)
+	}
+	per := vs.perDest[:stripes]
+	for s := range per {
+		per[s] = per[s][:0]
+	}
+	if q.mq != nil {
+		nb, n := uint64(q.mq.buckets), q.mq.n
+		for i := 0; i < b.N; i++ {
+			s := int(hs[i]%nb) / n
+			per[s] = append(per[s], int32(i))
+		}
+	} else {
+		st := uint64(q.opt.Stripes)
+		for i := 0; i < b.N; i++ {
+			per[hs[i]%st] = append(per[hs[i]%st], int32(i))
+		}
+	}
+	for s := range per {
+		sel := per[s]
+		if len(sel) == 0 {
+			continue
+		}
+		or.locks[s].Lock()
+		or.stripes[s].insertSel(b, sel, keys)
+		or.stripeRows[s] += len(sel)
+		or.locks[s].Unlock()
+	}
+}
+
+// processProbeVec streams one routed batch against the build side:
+// hash the key column, walk each row's stripe index (local stripe or
+// the steal cache's acquired store), and gather the matches — probe
+// columns as a composed selection over the probe batch, build columns
+// as boxed dense gathers.
+//
+//hierdb:hotpath
+func (q *query) processProbeVec(a *activation, w int) (outs []*activation, results *vec.Batch) {
+	bo := q.ops[a.op.partner.id]
+	b := a.b
+	vs := &q.vscratch[w]
+	hs := keyHashes(b, a.op.keyCol, a.op.join.ProbeKey, vs)
+	var keys []any
+	if a.op.keyCol < 0 {
+		keys = vs.keys
+	}
+	var keyCol *vec.Col
+	if a.op.keyCol >= 0 && a.op.keyCol < len(b.Cols) {
+		keyCol = &b.Cols[a.op.keyCol]
+	}
+	multi := q.mq != nil
+	var cache bucketCache
+	po := q.ops[a.op.id]
+	vs.probeRows = vs.probeRows[:0]
+	vs.bstores = vs.bstores[:0]
+	vs.bpos = vs.bpos[:0]
+	var nb uint64
+	var nn int
+	if multi {
+		nb, nn = uint64(q.mq.buckets), q.mq.n
+	}
+	stripes := uint64(q.opt.Stripes)
+	for i := 0; i < b.N; i++ {
+		var ss *stripeStore
+		if multi {
+			g := int(hs[i] % nb)
+			if g%nn == q.node {
+				ss = bo.stripes[g/nn]
+			} else {
+				// A stolen row: its bucket's store was acquired into
+				// this node's cache with the activation.
+				if cache == nil {
+					if c := po.cache.Load(); c != nil {
+						cache = *c
+					}
+				}
+				ss = cache[g]
+			}
+		} else {
+			ss = bo.stripes[hs[i]%stripes]
+		}
+		if ss == nil {
+			continue
+		}
+		for _, pos := range ss.lookup(keyCol, keys, i) {
+			vs.probeRows = append(vs.probeRows, int32(i))
+			vs.bstores = append(vs.bstores, ss)
+			vs.bpos = append(vs.bpos, pos)
+		}
+	}
+	return q.finishProbe(a, b, w)
+}
+
+// finishProbe turns the match triples accumulated in worker w's scratch
+// (probe row, build store, build position) into the join's output batch
+// and hands it downstream — shared by the in-memory and spill-phase
+// probe kernels.
+//
+//hierdb:hotpath
+func (q *query) finishProbe(a *activation, b *vec.Batch, w int) (outs []*activation, results *vec.Batch) {
+	vs := &q.vscratch[w]
+	arena := &q.varenas[w]
+	m := len(vs.probeRows)
+	if m == 0 {
+		return nil, nil
+	}
+	isRoot := a.op == q.p.root
+	var out *vec.Batch
+	if combine := a.op.join.Combine; combine != nil {
+		// User combine: materialize fresh probe/build rows (the combine
+		// may retain either) and re-columnize its outputs boxed.
+		if cap(vs.outRows) < m {
+			vs.outRows = make([]Row, 0, m)
+		}
+		rows := vs.outRows[:0]
+		for j := 0; j < m; j++ {
+			pr := materializeRow(b, int(vs.probeRows[j]), arena)
+			br := vs.bstores[j].rowAt(int(vs.bpos[j]), arena)
+			rows = append(rows, combine(pr, br))
+		}
+		out = vec.FromRowsAny(rows)
+		vs.outRows = rows[:0]
+	} else {
+		out = gatherJoin(b, vs, arena)
+	}
+	if isRoot {
+		return nil, out
+	}
+	q.emitBatch(a.op.consumer, out, &outs, vs, arena)
+	return outs, nil
+}
+
+// gatherJoin assembles the concatenated probe++build output batch of a
+// default-combine join from the match triples in scratch.
+//
+//hierdb:hotpath
+func gatherJoin(b *vec.Batch, vs *vecScratch, arena *vec.Arena) *vec.Batch {
+	m := len(vs.probeRows)
+	bw := vs.bstores[0].app.Width()
+	out := &vec.Batch{Cols: make([]vec.Col, len(b.Cols)+bw), N: m}
+	// Probe columns: compose each distinct index window once.
+	type group struct {
+		idx      []int32
+		composed []int32
+	}
+	groups := make([]group, 0, len(b.Cols))
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		var composed []int32
+		for gi := range groups {
+			if sameWindow(groups[gi].idx, c.Idx) {
+				composed = groups[gi].composed
+				break
+			}
+		}
+		if composed == nil {
+			composed = arena.I32(m)
+			if c.Idx == nil {
+				copy(composed, vs.probeRows)
+			} else {
+				for j, li := range vs.probeRows {
+					composed[j] = c.Idx[li]
+				}
+			}
+			groups = append(groups, group{c.Idx, composed})
+		}
+		oc := *c
+		oc.Idx = composed
+		out.Cols[ci] = oc
+	}
+	// Build columns: boxed dense gathers (copied interface words).
+	for ci := 0; ci < bw; ci++ {
+		box := arena.Anys(m)
+		for j := 0; j < m; j++ {
+			box[j] = vs.bstores[j].app.Col(ci).Box[vs.bpos[j]]
+		}
+		out.Cols[len(b.Cols)+ci] = vec.Col{Kind: vec.Any, Box: box}
+	}
+	return out
+}
+
+// sameWindow reports whether two index slices are the same window
+// (both nil, or same backing position and length).
+//
+//hierdb:hotpath
+func sameWindow(a, b []int32) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return len(a) == len(b) && &a[0] == &b[0]
+}
+
+// materializeRow carves one fresh boxed row from the arena (callers
+// may retain it; arena chunks are never reused).
+func materializeRow(b *vec.Batch, i int, a *vec.Arena) Row {
+	row := a.Anys(len(b.Cols))[:0]
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		v := c.Box[c.Pos(i)]
+		if vec.IsAbsent(v) {
+			break
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+// batchRowsVec columnizes rows and slices the result into Batch-sized
+// result batches (windows over one shared columnization).
+func batchRowsVec(rows []Row, size int) []*vec.Batch {
+	if len(rows) == 0 {
+		return nil
+	}
+	b := vec.FromRows(rows)
+	out := make([]*vec.Batch, 0, (b.N+size-1)/size)
+	for lo := 0; lo < b.N; lo += size {
+		hi := lo + size
+		if hi > b.N {
+			hi = b.N
+		}
+		out = append(out, window(b, lo, hi))
+	}
+	return out
+}
+
+// batchRowBytes approximates the in-memory footprint of logical row i
+// (parity with approxRowBytes on the materialized row).
+func batchRowBytes(b *vec.Batch, i int) int64 {
+	n := int64(24)
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		v := c.Box[c.Pos(i)]
+		if vec.IsAbsent(v) {
+			break
+		}
+		n += 16
+		if c.Kind == vec.String {
+			pos := c.Pos(i)
+			if !c.NullAt(pos) {
+				n += int64(len(c.Str[pos]))
+			}
+		} else if s, ok := v.(string); ok {
+			n += int64(len(s))
+		}
+	}
+	return n
+}

@@ -1,0 +1,406 @@
+// Columnar spill codec: the per-batch encoding used by the vectorized
+// engine. Where the row codec (Append/ReadBatch) spends one type tag
+// per value, this codec spends one kind byte per column per batch —
+// a typed column's values are encoded back to back with no per-value
+// framing beyond the varint payloads themselves, and nulls are hoisted
+// into one packed bitmap per column. Batches written with AppendCols
+// must be read with ReadCols (and vice versa); the engine never mixes
+// codecs within one file.
+//
+// Per-batch layout:
+//
+//	uvarint nrows, uvarint ncols
+//	per column:
+//	  kind byte (vec.Kind numeric value — part of the on-disk format)
+//	  null byte (0/1); if 1, packed little-endian bitmap of ceil(n/8)
+//	    bytes over logical row order
+//	  payload, non-null rows only, in logical order:
+//	    int family  varint     (uint64 as uvarint of the bit pattern)
+//	    float64     8 bytes LE
+//	    bool        packed bitmap, ceil(count/8) bytes
+//	    string      uvarint length + bytes
+//	    any         row-codec value tags (plus tagAbsent for ragged
+//	                padding), one per value
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"hierdb/internal/vec"
+)
+
+// tagAbsent marks ragged-row padding inside an Any column payload. It
+// extends the row-codec tag space and is only valid in columnar
+// batches.
+const tagAbsent = 9
+
+// AppendCols encodes one columnar batch (logical rows, honoring each
+// column's selection vector) and writes it to the file, returning its
+// Ref. Safe for concurrent callers.
+func (s *File) AppendCols(b *vec.Batch) (Ref, error) {
+	if b == nil || b.N == 0 {
+		return Ref{}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(b.N))
+	buf = binary.AppendUvarint(buf, uint64(len(b.Cols)))
+	var err error
+	for ci := range b.Cols {
+		if buf, err = appendCol(buf, &b.Cols[ci], b.N); err != nil {
+			return Ref{}, err
+		}
+	}
+	s.buf = buf
+	if _, err := s.f.Write(buf); err != nil {
+		return Ref{}, fmt.Errorf("spill: write %s: %w", filepath.Base(s.path), err)
+	}
+	ref := Ref{Off: s.off, Len: int64(len(buf)), Rows: b.N}
+	s.refs = append(s.refs, ref)
+	s.off += ref.Len
+	s.rows += int64(b.N)
+	return ref, nil
+}
+
+//hierdb:hotpath
+func appendCol(buf []byte, c *vec.Col, n int) ([]byte, error) {
+	buf = append(buf, byte(c.Kind))
+	// Null bitmap over logical rows (the column's own bitmap is over
+	// storage positions; re-project through the selection).
+	nulls := false
+	for i := 0; i < n; i++ {
+		if c.NullAt(c.Pos(i)) {
+			nulls = true
+			break
+		}
+	}
+	if nulls {
+		buf = append(buf, 1)
+		base := len(buf)
+		for i := 0; i < (n+7)/8; i++ {
+			buf = append(buf, 0)
+		}
+		for i := 0; i < n; i++ {
+			if c.NullAt(c.Pos(i)) {
+				buf[base+i/8] |= 1 << (uint(i) & 7)
+			}
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	switch c.Kind {
+	case vec.Int, vec.Int32, vec.Int64:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if !c.NullAt(pos) {
+				buf = binary.AppendVarint(buf, c.I64[pos])
+			}
+		}
+	case vec.Uint64:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if !c.NullAt(pos) {
+				buf = binary.AppendUvarint(buf, uint64(c.I64[pos]))
+			}
+		}
+	case vec.Float64:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if !c.NullAt(pos) {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.F64[pos]))
+			}
+		}
+	case vec.Bool:
+		base := len(buf)
+		cnt := 0
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if c.NullAt(pos) {
+				continue
+			}
+			if cnt%8 == 0 {
+				buf = append(buf, 0)
+			}
+			if c.B[pos] {
+				buf[base+cnt/8] |= 1 << (uint(cnt) & 7)
+			}
+			cnt++
+		}
+	case vec.String:
+		for i := 0; i < n; i++ {
+			pos := c.Pos(i)
+			if !c.NullAt(pos) {
+				s := c.Str[pos]
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	case vec.Any:
+		var err error
+		for i := 0; i < n; i++ {
+			v := c.Box[c.Pos(i)]
+			if v == nil {
+				continue // carried by the bitmap
+			}
+			if vec.IsAbsent(v) {
+				buf = append(buf, tagAbsent)
+				continue
+			}
+			if buf, err = appendValue(buf, v); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		//hierdb:ignore hotpath cold error path, only reached on a corrupt in-memory batch
+		return nil, fmt.Errorf("spill: unknown column kind %d", c.Kind)
+	}
+	return buf, nil
+}
+
+// appendValue encodes one boxed value with a row-codec tag — the Any
+// column payload shares the row codec's value encoding.
+func appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case bool:
+		if x {
+			buf = append(buf, tagTrue)
+		} else {
+			buf = append(buf, tagFalse)
+		}
+	case int:
+		buf = append(buf, tagInt)
+		buf = binary.AppendVarint(buf, int64(x))
+	case int32:
+		buf = append(buf, tagInt32)
+		buf = binary.AppendVarint(buf, int64(x))
+	case int64:
+		buf = append(buf, tagInt64)
+		buf = binary.AppendVarint(buf, x)
+	case uint64:
+		buf = append(buf, tagUint64)
+		buf = binary.AppendUvarint(buf, x)
+	case float64:
+		buf = append(buf, tagFloat64)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	case string:
+		buf = append(buf, tagString)
+		buf = binary.AppendUvarint(buf, uint64(len(x)))
+		buf = append(buf, x...)
+	default:
+		return nil, fmt.Errorf("spill: unsupported column type %T (supported: nil, bool, int, int32, int64, uint64, float64, string)", v)
+	}
+	return buf, nil
+}
+
+// ReadCols decodes a batch written by AppendCols into a dense columnar
+// batch. Safe for concurrent callers once appends have stopped.
+func (s *File) ReadCols(ref Ref) (*vec.Batch, error) {
+	if ref.Rows == 0 {
+		return &vec.Batch{}, nil
+	}
+	buf := make([]byte, ref.Len)
+	if _, err := s.f.ReadAt(buf, ref.Off); err != nil {
+		return nil, fmt.Errorf("spill: read %s: %w", filepath.Base(s.path), err)
+	}
+	name := filepath.Base(s.path)
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n != uint64(ref.Rows) {
+		return nil, fmt.Errorf("spill: corrupt batch header in %s (got %d rows, ref says %d)", name, n, ref.Rows)
+	}
+	buf = buf[w:]
+	ncols, w := binary.Uvarint(buf)
+	if w <= 0 || ncols > uint64(len(buf)) {
+		return nil, fmt.Errorf("spill: corrupt column count in %s", name)
+	}
+	buf = buf[w:]
+	b := &vec.Batch{Cols: make([]vec.Col, ncols), N: ref.Rows}
+	for ci := range b.Cols {
+		var err error
+		if buf, err = decodeCol(buf, &b.Cols[ci], ref.Rows); err != nil {
+			return nil, fmt.Errorf("spill: %s: %w", name, err)
+		}
+	}
+	return b, nil
+}
+
+// decodeCol is deliberately not a //hierdb:hotpath function: decoding
+// rebuilds the authoritative Box mirror, and that re-boxing is a
+// sanctioned allocation site (like the vec→Row boundary) — the codec's
+// hot invariants are enforced on the encode side instead.
+func decodeCol(buf []byte, c *vec.Col, n int) ([]byte, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("truncated column header")
+	}
+	c.Kind = vec.Kind(buf[0])
+	hasNulls := buf[1] == 1
+	buf = buf[2:]
+	var nulls []byte
+	if hasNulls {
+		nb := (n + 7) / 8
+		if len(buf) < nb {
+			return nil, fmt.Errorf("truncated null bitmap")
+		}
+		nulls = buf[:nb]
+		buf = buf[nb:]
+	}
+	isNull := func(i int) bool {
+		return nulls != nil && nulls[i/8]&(1<<(uint(i)&7)) != 0
+	}
+	c.Box = make([]any, n)
+	switch c.Kind {
+	case vec.Int, vec.Int32, vec.Int64, vec.Uint64:
+		c.I64 = make([]int64, n)
+	case vec.Float64:
+		c.F64 = make([]float64, n)
+	case vec.Bool:
+		c.B = make([]bool, n)
+	case vec.String:
+		c.Str = make([]string, n)
+	case vec.Any:
+	default:
+		return nil, fmt.Errorf("unknown column kind %d", c.Kind)
+	}
+	boolCnt := 0
+	var boolBits []byte
+	if c.Kind == vec.Bool {
+		// The bool payload is one contiguous bitmap; count the non-null
+		// rows to slice it off before scanning.
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if !isNull(i) {
+				cnt++
+			}
+		}
+		nb := (cnt + 7) / 8
+		if len(buf) < nb {
+			return nil, fmt.Errorf("truncated bool payload")
+		}
+		boolBits = buf[:nb]
+		buf = buf[nb:]
+	}
+	for i := 0; i < n; i++ {
+		if isNull(i) {
+			setNull(c, i, n)
+			continue
+		}
+		switch c.Kind {
+		case vec.Int, vec.Int32, vec.Int64:
+			v, w := binary.Varint(buf)
+			if w <= 0 {
+				return nil, fmt.Errorf("truncated varint")
+			}
+			buf = buf[w:]
+			c.I64[i] = v
+			switch c.Kind {
+			case vec.Int:
+				c.Box[i] = int(v)
+			case vec.Int32:
+				c.Box[i] = int32(v)
+			default:
+				c.Box[i] = v
+			}
+		case vec.Uint64:
+			v, w := binary.Uvarint(buf)
+			if w <= 0 {
+				return nil, fmt.Errorf("truncated uvarint")
+			}
+			buf = buf[w:]
+			c.I64[i] = int64(v)
+			c.Box[i] = v
+		case vec.Float64:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("truncated float64")
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+			c.F64[i] = v
+			c.Box[i] = v
+		case vec.Bool:
+			v := boolBits[boolCnt/8]&(1<<(uint(boolCnt)&7)) != 0
+			boolCnt++
+			c.B[i] = v
+			c.Box[i] = v
+		case vec.String:
+			ln, w := binary.Uvarint(buf)
+			if w <= 0 || uint64(len(buf)-w) < ln {
+				return nil, fmt.Errorf("truncated string")
+			}
+			v := string(buf[w : w+int(ln)])
+			buf = buf[w+int(ln):]
+			c.Str[i] = v
+			c.Box[i] = v
+		case vec.Any:
+			var err error
+			if c.Box[i], buf, err = decodeValue(buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// setNull marks logical row i null in a freshly decoded dense column
+// (storage position == logical row).
+func setNull(c *vec.Col, i, n int) {
+	if c.Kind == vec.Any {
+		return // Box[i] stays nil
+	}
+	if c.Null == nil {
+		c.Null = make([]uint64, (n+63)/64)
+	}
+	c.Null[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// decodeValue decodes one tagged value of an Any column payload.
+func decodeValue(buf []byte) (any, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, fmt.Errorf("truncated value")
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case tagAbsent:
+		return vec.Absent, buf, nil
+	case tagNil:
+		return nil, buf, nil
+	case tagFalse:
+		return false, buf, nil
+	case tagTrue:
+		return true, buf, nil
+	case tagInt, tagInt32, tagInt64:
+		v, w := binary.Varint(buf)
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("truncated varint")
+		}
+		buf = buf[w:]
+		switch tag {
+		case tagInt:
+			return int(v), buf, nil
+		case tagInt32:
+			return int32(v), buf, nil
+		}
+		return v, buf, nil
+	case tagUint64:
+		v, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("truncated uvarint")
+		}
+		return v, buf[w:], nil
+	case tagFloat64:
+		if len(buf) < 8 {
+			return nil, nil, fmt.Errorf("truncated float64")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+	case tagString:
+		ln, w := binary.Uvarint(buf)
+		if w <= 0 || uint64(len(buf)-w) < ln {
+			return nil, nil, fmt.Errorf("truncated string")
+		}
+		return string(buf[w : w+int(ln)]), buf[w+int(ln):], nil
+	}
+	return nil, nil, fmt.Errorf("unknown value tag %d", tag)
+}

@@ -1,0 +1,76 @@
+// Chunked arenas for the hot path: selection vectors, gather targets
+// and materialized row storage are carved from per-worker arenas so
+// steady-state streaming performs O(1) allocations per batch, not per
+// row. Chunks are never reused — a carved slice stays valid (and a
+// materialized row safely retainable) for the life of the process.
+package vec
+
+const arenaChunk = 16 * 1024
+
+// chunkArena hands out slices of T from large chunks.
+type chunkArena[T any] struct {
+	chunk []T
+}
+
+// carve returns a zeroed slice of n elements. The capacity is capped
+// at n so appends by the caller cannot bleed into later carvings.
+//
+//hierdb:hotpath
+func (a *chunkArena[T]) carve(n int) []T {
+	if n > cap(a.chunk)-len(a.chunk) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]T, 0, size)
+	}
+	s := a.chunk[len(a.chunk) : len(a.chunk)+n : len(a.chunk)+n]
+	a.chunk = a.chunk[:len(a.chunk)+n]
+	return s
+}
+
+// Arena bundles the element types the executor carves.
+type Arena struct {
+	i32  chunkArena[int32]
+	i64  chunkArena[int64]
+	u64  chunkArena[uint64]
+	f64  chunkArena[float64]
+	str  chunkArena[string]
+	bs   chunkArena[bool]
+	anys chunkArena[any]
+}
+
+// I32 carves n int32s.
+//
+//hierdb:hotpath
+func (a *Arena) I32(n int) []int32 { return a.i32.carve(n) }
+
+// I64 carves n int64s.
+//
+//hierdb:hotpath
+func (a *Arena) I64(n int) []int64 { return a.i64.carve(n) }
+
+// U64 carves n uint64s.
+//
+//hierdb:hotpath
+func (a *Arena) U64(n int) []uint64 { return a.u64.carve(n) }
+
+// F64 carves n float64s.
+//
+//hierdb:hotpath
+func (a *Arena) F64(n int) []float64 { return a.f64.carve(n) }
+
+// Strs carves n strings.
+//
+//hierdb:hotpath
+func (a *Arena) Strs(n int) []string { return a.str.carve(n) }
+
+// Bools carves n bools.
+//
+//hierdb:hotpath
+func (a *Arena) Bools(n int) []bool { return a.bs.carve(n) }
+
+// Anys carves n interface words.
+//
+//hierdb:hotpath
+func (a *Arena) Anys(n int) []any { return a.anys.carve(n) }

@@ -1,0 +1,76 @@
+package vec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func selOf(t *testing.T, rows []Row, preds ...Pred) []int32 {
+	t.Helper()
+	b := FromRows(rows)
+	out := ApplyPreds(b, preds, nil, nil)
+	return out
+}
+
+func TestPredsTyped(t *testing.T) {
+	rows := []Row{{1, "a", 1.5}, {2, "b", 2.5}, {nil, "c", 3.5}, {4, "a", 4.5}}
+	cases := []struct {
+		preds []Pred
+		want  []int32
+	}{
+		{[]Pred{{Col: 0, Op: Gt, Val: 1}}, []int32{1, 3}},
+		{[]Pred{{Col: 0, Op: Le, Val: int64(2)}}, []int32{0, 1}},
+		{[]Pred{{Col: 1, Op: Eq, Val: "a"}}, []int32{0, 3}},
+		{[]Pred{{Col: 2, Op: Ge, Val: 2.5}, {Col: 1, Op: Ne, Val: "c"}}, []int32{1, 3}},
+		{[]Pred{{Col: 0, Op: IsNull}}, []int32{2}},
+		{[]Pred{{Col: 0, Op: NotNull}, {Col: 0, Op: Lt, Val: 4}}, []int32{0, 1}},
+		{[]Pred{{Col: 0, Op: Eq, Val: "type-mismatch"}}, nil},
+		{[]Pred{{Col: 9, Op: Eq, Val: 1}}, nil},
+	}
+	for i, c := range cases {
+		got := selOf(t, rows, c.preds...)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPredsAnyColumn(t *testing.T) {
+	rows := []Row{{1}, {"x"}, {nil}, {2.5}, {int64(3)}, {true}}
+	b := FromRows(rows)
+	if b.Cols[0].Kind != Any {
+		t.Fatalf("kind %v", b.Cols[0].Kind)
+	}
+	got := ApplyPreds(b, []Pred{{Col: 0, Op: Ge, Val: 2}}, nil, nil)
+	// int-family values ≥ 2: int64(3). 2.5 is a float (different family).
+	if !reflect.DeepEqual(got, []int32{4}) {
+		t.Fatalf("got %v", got)
+	}
+	got = ApplyPreds(b, []Pred{{Col: 0, Op: Eq, Val: true}}, nil, nil)
+	if !reflect.DeepEqual(got, []int32{5}) {
+		t.Fatalf("bool eq got %v", got)
+	}
+	got = ApplyPreds(b, []Pred{{Col: 0, Op: Gt, Val: true}}, nil, nil)
+	if len(got) != 0 {
+		t.Fatalf("ordered bool compare must match nothing, got %v", got)
+	}
+	got = ApplyPreds(b, []Pred{{Col: 0, Op: IsNull}}, nil, nil)
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Fatalf("isnull got %v", got)
+	}
+}
+
+func TestPredsBoolUint(t *testing.T) {
+	rows := []Row{{true, uint64(5)}, {false, uint64(9)}, {true, uint64(1)}}
+	b := FromRows(rows)
+	got := ApplyPreds(b, []Pred{{Col: 0, Op: Eq, Val: true}, {Col: 1, Op: Lt, Val: uint64(5)}}, nil, nil)
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := ApplyPreds(b, []Pred{{Col: 0, Op: Lt, Val: true}}, nil, nil); len(got) != 0 {
+		t.Fatalf("bool Lt matched %v", got)
+	}
+}

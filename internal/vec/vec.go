@@ -1,0 +1,648 @@
+// Package vec is the engine's columnar batch representation: typed
+// column vectors with null bitmaps and per-column selection vectors.
+// A Batch is the hot-path currency of internal/exec — scans carve
+// column windows from columnized tables, filters shrink selection
+// vectors, and the join kernels hash and gather whole columns.
+//
+// Layout invariants:
+//
+//   - Box is always present and authoritative: Box[pos] holds the boxed
+//     value at storage position pos (nil at SQL-null positions, Absent
+//     at ragged-row padding). Materializing a row copies Box words, so
+//     no value is ever boxed twice.
+//   - A typed column (Kind != Any) additionally carries a typed mirror
+//     (I64/F64/Str/B) with the zero value at null positions, and an
+//     optional packed null bitmap over storage positions. Typed kernels
+//     read the mirror; everything else falls back to Box.
+//   - Columns are windowed exclusively through Idx (logical→storage).
+//     Storage slices are never re-sliced: the null bitmap is packed at
+//     word granularity over storage positions, so re-slicing storage
+//     would break bitmap alignment. Idx == nil means the dense identity
+//     window (len(Box) == N).
+package vec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Row is one boxed tuple, positional, matching exec.Row / spill.Row.
+type Row = []any
+
+// Kind is a column's resolved type.
+type Kind uint8
+
+// Column kinds. Any is the boxed fallback: mixed types, exotic types,
+// or ragged-row padding.
+const (
+	Any Kind = iota
+	Int
+	Int32
+	Int64
+	Uint64
+	Float64
+	Bool
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Any:
+		return "any"
+	case Int:
+		return "int"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Uint64:
+		return "uint64"
+	case Float64:
+		return "float64"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IntFamily reports whether k stores its values in the I64 mirror.
+func (k Kind) IntFamily() bool {
+	return k == Int || k == Int32 || k == Int64 || k == Uint64
+}
+
+type absentT struct{}
+
+// Absent pads ragged rows: a row shorter than the batch width stores
+// Absent in its missing tail columns. Materialization strips Absent,
+// reproducing the original row widths. Absent only ever appears in
+// Kind == Any columns.
+var Absent any = absentT{}
+
+// IsAbsent reports whether v is the ragged-row padding sentinel.
+func IsAbsent(v any) bool {
+	_, ok := v.(absentT)
+	return ok
+}
+
+// KindOf classifies one boxed value. nil and Absent have no kind of
+// their own and report Any; callers combining kinds across rows treat
+// nil as "does not constrain the column".
+func KindOf(v any) Kind {
+	switch v.(type) {
+	case int:
+		return Int
+	case int32:
+		return Int32
+	case int64:
+		return Int64
+	case uint64:
+		return Uint64
+	case float64:
+		return Float64
+	case bool:
+		return Bool
+	case string:
+		return String
+	}
+	return Any
+}
+
+// Col is one column vector.
+type Col struct {
+	Kind Kind
+	// Idx maps logical row i to storage position Idx[i]; nil means the
+	// dense identity window over the whole storage (len(Box) rows).
+	Idx []int32
+	// Box holds the boxed values, one per storage position. Always
+	// present; nil marks SQL null, Absent marks ragged-row padding.
+	Box []any
+	// Typed mirrors, valid per Kind (I64 backs the whole int family,
+	// with uint64 values stored as their bit pattern).
+	I64 []int64
+	F64 []float64
+	Str []string
+	B   []bool
+	// Null is a packed little-endian bitmap over storage positions (bit
+	// set = null). nil means no nulls. Only maintained for typed
+	// columns; Any columns mark nulls in Box directly.
+	Null []uint64
+}
+
+// Pos maps logical row i to its storage position.
+//
+//hierdb:hotpath
+func (c *Col) Pos(i int) int {
+	if c.Idx == nil {
+		return i
+	}
+	return int(c.Idx[i])
+}
+
+// NullAt reports whether storage position pos is null.
+//
+//hierdb:hotpath
+func (c *Col) NullAt(pos int) bool {
+	if c.Null == nil {
+		return c.Kind == Any && c.Box[pos] == nil
+	}
+	return c.Null[pos>>6]&(1<<(uint(pos)&63)) != 0
+}
+
+// setNull marks storage position pos null in a bitmap sized for n
+// storage positions, allocating it on first use.
+func (c *Col) setNull(pos, n int) {
+	if c.Null == nil {
+		c.Null = make([]uint64, (n+63)/64)
+	}
+	c.Null[pos>>6] |= 1 << (uint(pos) & 63)
+}
+
+// Value returns the boxed value at storage position pos.
+//
+//hierdb:hotpath
+func (c *Col) Value(pos int) any { return c.Box[pos] }
+
+// Batch is a set of equal-length column vectors. Columns may carry
+// different Idx windows (a join output keeps probe columns as a
+// selection over the probe batch while build columns are dense
+// gathers), but all describe the same N logical rows.
+type Batch struct {
+	Cols []Col
+	N    int
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Cols) }
+
+// ---------------------------------------------------------------------
+// Identity windows
+// ---------------------------------------------------------------------
+
+var (
+	identMu sync.Mutex
+	identP  atomic.Pointer[[]int32]
+)
+
+// Ident returns the shared identity table [0,n): Ident(n)[i] == i.
+// Slices of earlier, shorter calls remain valid forever — the table
+// only grows, and old prefixes alias the same immutable values, so
+// scan windows can slice it without copying.
+func Ident(n int) []int32 {
+	if p := identP.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n]
+	}
+	identMu.Lock()
+	defer identMu.Unlock()
+	if p := identP.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n]
+	}
+	m := 1024
+	for m < n {
+		m *= 2
+	}
+	s := make([]int32, m)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	identP.Store(&s)
+	return s[:n]
+}
+
+// ---------------------------------------------------------------------
+// Row → column conversion
+// ---------------------------------------------------------------------
+
+// FromRows columnizes boxed rows, detecting one Kind per column: a
+// column whose non-null values all share one scalar type gets that
+// typed representation (mirror + null bitmap); mixed or exotic columns
+// stay boxed (Any). Ragged rows are padded with Absent, which forces
+// the padded columns to Any.
+func FromRows(rows []Row) *Batch {
+	return fromRows(rows, false)
+}
+
+// FromRowsAny columnizes boxed rows with every column forced to the
+// boxed Any representation — used for operator outputs (e.g. Combine
+// results) whose types are not worth re-detecting per batch.
+func FromRowsAny(rows []Row) *Batch {
+	return fromRows(rows, true)
+}
+
+func fromRows(rows []Row, forceAny bool) *Batch {
+	n := len(rows)
+	w := 0
+	for _, r := range rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	b := &Batch{Cols: make([]Col, w), N: n}
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		c.Box = make([]any, n)
+		kind := Any
+		resolved := forceAny
+		for ri, r := range rows {
+			var v any
+			if ci < len(r) {
+				v = r[ci]
+			} else {
+				v = Absent
+			}
+			c.Box[ri] = v
+			if resolved && kind == Any {
+				continue
+			}
+			if v == nil {
+				continue // null constrains nothing
+			}
+			k := KindOf(v)
+			if !resolved {
+				kind, resolved = k, true
+			} else if k != kind {
+				kind = Any
+			}
+			if k == Any {
+				kind = Any // Absent padding and exotic types stay boxed
+			}
+		}
+		c.Kind = kind
+		if kind != Any {
+			fillMirror(c)
+		}
+	}
+	return b
+}
+
+// fillMirror populates the typed mirror and null bitmap of a column
+// whose Kind has been resolved, from its Box values.
+func fillMirror(c *Col) {
+	n := len(c.Box)
+	switch c.Kind {
+	case Int, Int32, Int64, Uint64:
+		c.I64 = make([]int64, n)
+		for i, v := range c.Box {
+			switch t := v.(type) {
+			case int:
+				c.I64[i] = int64(t)
+			case int32:
+				c.I64[i] = int64(t)
+			case int64:
+				c.I64[i] = t
+			case uint64:
+				c.I64[i] = int64(t)
+			default: // nil
+				c.setNull(i, n)
+			}
+		}
+	case Float64:
+		c.F64 = make([]float64, n)
+		for i, v := range c.Box {
+			if t, ok := v.(float64); ok {
+				c.F64[i] = t
+			} else {
+				c.setNull(i, n)
+			}
+		}
+	case Bool:
+		c.B = make([]bool, n)
+		for i, v := range c.Box {
+			if t, ok := v.(bool); ok {
+				c.B[i] = t
+			} else {
+				c.setNull(i, n)
+			}
+		}
+	case String:
+		c.Str = make([]string, n)
+		for i, v := range c.Box {
+			if t, ok := v.(string); ok {
+				c.Str[i] = t
+			} else {
+				c.setNull(i, n)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Column → row materialization (the one sanctioned vec→Row boundary)
+// ---------------------------------------------------------------------
+
+// AppendRows materializes the batch's logical rows onto dst, carving
+// row storage from a (never reused, so callers may retain the rows).
+// Absent padding is stripped, reproducing original ragged widths.
+//
+//hierdb:hotpath
+func (b *Batch) AppendRows(dst []Row, a *Arena) []Row {
+	w := len(b.Cols)
+	if b.N == 0 || w == 0 {
+		return dst
+	}
+	// One flat carve for the whole batch, filled column-major: each
+	// column's storage is streamed once instead of strided per row, and
+	// the per-row carve bookkeeping disappears.
+	flat := a.Anys(b.N * w)
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		box := c.Box
+		if c.Idx == nil {
+			for i := 0; i < b.N; i++ {
+				flat[i*w+ci] = box[i]
+			}
+		} else {
+			idx := c.Idx
+			for i := 0; i < b.N; i++ {
+				flat[i*w+ci] = box[idx[i]]
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		row := flat[i*w : (i+1)*w : (i+1)*w]
+		// Ragged rows carry tail-only Absent padding: trim from the end.
+		end := w
+		for end > 0 && IsAbsent(row[end-1]) {
+			end--
+		}
+		dst = append(dst, row[:end:end])
+	}
+	return dst
+}
+
+// ReadRow materializes logical row i into scratch (reused by callers
+// that only need the row transiently: filters, key extraction,
+// aggregate arguments). The returned slice aliases scratch.
+//
+//hierdb:hotpath
+func (b *Batch) ReadRow(i int, scratch Row) Row {
+	row := scratch[:0]
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		v := c.Box[c.Pos(i)]
+		if IsAbsent(v) {
+			break
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------
+// Selection
+// ---------------------------------------------------------------------
+
+// Select returns a view of b restricted to the given logical rows,
+// composing selection vectors without touching storage. Columns that
+// share an Idx slice share the composed result. Index storage is
+// carved from a.
+//
+//hierdb:hotpath
+func Select(b *Batch, sel []int32, a *Arena) *Batch {
+	out := &Batch{Cols: make([]Col, len(b.Cols)), N: len(sel)}
+	type group struct {
+		idx      []int32 // original (nil = dense)
+		composed []int32
+	}
+	groups := make([]group, 0, len(b.Cols))
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		oc := &out.Cols[ci]
+		*oc = *c
+		var composed []int32
+		for gi := range groups {
+			if sameIdx(groups[gi].idx, c.Idx) {
+				composed = groups[gi].composed
+				break
+			}
+		}
+		if composed == nil {
+			composed = a.I32(len(sel))
+			if c.Idx == nil {
+				copy(composed, sel)
+			} else {
+				for j, li := range sel {
+					composed[j] = c.Idx[li]
+				}
+			}
+			groups = append(groups, group{c.Idx, composed})
+		}
+		oc.Idx = composed
+	}
+	return out
+}
+
+// sameIdx reports whether two index slices are the identical window
+// (same backing array, offset and length — or both dense).
+func sameIdx(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return a == nil && b == nil || (a == nil) == (b == nil)
+	}
+	return &a[0] == &b[0]
+}
+
+// ---------------------------------------------------------------------
+// Appender
+// ---------------------------------------------------------------------
+
+// Appender accumulates rows from batches into one growing dense
+// columnar store — the build side of a hash-join stripe, or a spill
+// drain buffer. The store's schema adapts: a column fed two different
+// kinds, or ragged widths, degrades to Any (Box stays authoritative,
+// so degrading is O(1) and never re-boxes).
+type Appender struct {
+	cols     []Col
+	resolved []bool
+	n        int
+}
+
+// NewAppender returns an appender pre-shaped for the given column
+// kinds (nil means the schema is discovered from appended batches)
+// with capacity for hint rows.
+func NewAppender(kinds []Kind, hint int) *Appender {
+	ap := &Appender{}
+	if kinds != nil {
+		ap.cols = make([]Col, len(kinds))
+		ap.resolved = make([]bool, len(kinds))
+		for i, k := range kinds {
+			ap.cols[i].Kind = k
+			ap.cols[i].Box = make([]any, 0, hint)
+			ap.resolved[i] = true
+		}
+	}
+	return ap
+}
+
+// Len returns the number of rows appended so far.
+func (ap *Appender) Len() int { return ap.n }
+
+// Width returns the number of columns accumulated so far.
+func (ap *Appender) Width() int { return len(ap.cols) }
+
+// Col exposes accumulated column i for direct positional reads (the
+// appender's columns are dense: position == append order). The Box
+// slice is always populated; typed mirrors only when the column stayed
+// resolved. Callers must not mutate the column.
+func (ap *Appender) Col(i int) *Col { return &ap.cols[i] }
+
+// AppendBatch appends every logical row of b.
+func (ap *Appender) AppendBatch(b *Batch) {
+	ap.AppendRowsSel(b, nil)
+}
+
+// AppendRowsSel appends the logical rows of b listed in sel (nil means
+// all rows) to the store.
+//
+//hierdb:hotpath
+func (ap *Appender) AppendRowsSel(b *Batch, sel []int32) {
+	k := b.N
+	if sel != nil {
+		k = len(sel)
+	}
+	if k == 0 {
+		return
+	}
+	ap.widen(len(b.Cols))
+	for ci := range ap.cols {
+		dst := &ap.cols[ci]
+		if ci >= len(b.Cols) {
+			ap.padAbsent(dst, k)
+			continue
+		}
+		src := &b.Cols[ci]
+		ap.appendCol(dst, ci, src, sel, k)
+	}
+	ap.n += k
+}
+
+// widen grows the store to w columns, backfilling new columns with
+// Absent for the rows already appended.
+func (ap *Appender) widen(w int) {
+	for len(ap.cols) < w {
+		c := Col{Kind: Any, Box: make([]any, ap.n, ap.n+256)}
+		for i := range c.Box {
+			c.Box[i] = Absent
+		}
+		ap.cols = append(ap.cols, c)
+		// A column backfilled with Absent is permanently Any; a column
+		// opened before any rows landed adopts the first batch's kind.
+		ap.resolved = append(ap.resolved, ap.n > 0)
+	}
+}
+
+// padAbsent appends k Absent values to a column the incoming batch
+// does not cover (incoming rows narrower than the store).
+func (ap *Appender) padAbsent(dst *Col, k int) {
+	ap.degrade(dst)
+	for j := 0; j < k; j++ {
+		dst.Box = append(dst.Box, Absent)
+	}
+}
+
+// degrade drops a column to the boxed Any representation. Box is
+// authoritative, so this only folds the null bitmap away and forgets
+// the mirror.
+func (ap *Appender) degrade(dst *Col) {
+	if dst.Kind == Any {
+		return
+	}
+	dst.Kind = Any
+	dst.I64, dst.F64, dst.Str, dst.B, dst.Null = nil, nil, nil, nil, nil
+}
+
+//hierdb:hotpath
+func (ap *Appender) appendCol(dst *Col, ci int, src *Col, sel []int32, k int) {
+	if !ap.resolved[ci] {
+		dst.Kind = src.Kind
+		ap.resolved[ci] = true
+	} else if dst.Kind != src.Kind {
+		ap.degrade(dst)
+	}
+	// Box always copies.
+	if sel == nil && src.Idx == nil {
+		dst.Box = append(dst.Box, src.Box...)
+	} else if sel == nil {
+		for _, pos := range src.Idx {
+			dst.Box = append(dst.Box, src.Box[pos])
+		}
+	} else {
+		for _, li := range sel {
+			dst.Box = append(dst.Box, src.Box[src.Pos(int(li))])
+		}
+	}
+	if dst.Kind == Any {
+		return
+	}
+	// Mirror and nulls for the still-typed column.
+	if sel == nil && src.Idx == nil {
+		for pos := range src.Box {
+			appendOne(dst, src, pos)
+		}
+	} else if sel == nil {
+		for _, pos := range src.Idx {
+			appendOne(dst, src, int(pos))
+		}
+	} else {
+		for _, li := range sel {
+			appendOne(dst, src, src.Pos(int(li)))
+		}
+	}
+}
+
+// appendOne appends the typed mirror value (and null bit) at source
+// storage position pos to dst, which is known to share src's kind.
+//
+//hierdb:hotpath
+func appendOne(dst, src *Col, pos int) {
+	var p int
+	switch dst.Kind {
+	case Int, Int32, Int64, Uint64:
+		p = len(dst.I64)
+		dst.I64 = append(dst.I64, src.I64[pos])
+	case Float64:
+		p = len(dst.F64)
+		dst.F64 = append(dst.F64, src.F64[pos])
+	case Bool:
+		p = len(dst.B)
+		dst.B = append(dst.B, src.B[pos])
+	case String:
+		p = len(dst.Str)
+		dst.Str = append(dst.Str, src.Str[pos])
+	}
+	if src.NullAt(pos) {
+		setNullGrow(dst, p)
+	}
+}
+
+// setNullGrow marks storage position pos null, growing the bitmap as
+// needed (the appender's store grows incrementally, unlike fixed-size
+// batch columns).
+func setNullGrow(c *Col, pos int) {
+	for len(c.Null) <= pos>>6 {
+		c.Null = append(c.Null, 0)
+	}
+	c.Null[pos>>6] |= 1 << (uint(pos) & 63)
+}
+
+// Batch seals the appended rows as one dense batch. The appender must
+// not be appended to afterwards (the batch aliases its storage).
+func (ap *Appender) Batch() *Batch {
+	b := &Batch{Cols: make([]Col, len(ap.cols)), N: ap.n}
+	copy(b.Cols, ap.cols)
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		if c.Null != nil {
+			// Bitmaps grow lazily; pad to full words for the final size.
+			want := (len(c.Box) + 63) / 64
+			for len(c.Null) < want {
+				c.Null = append(c.Null, 0)
+			}
+		}
+	}
+	return b
+}

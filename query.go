@@ -55,6 +55,29 @@ func (db *DB) Scan(table string, filter ...func(Row) bool) *Query {
 	return q
 }
 
+// Where narrows the scan started by the immediately preceding Scan
+// step with single-column predicates, ANDed together (and with any row
+// Filter closure, which runs after them). Predicates execute inside
+// the columnar scan kernel as per-column loops that only shrink the
+// selection vector — prefer them over a Filter closure when the
+// condition is column-vs-constant. The scan node is cloned, so the
+// receiver — and any query already running over it — is unaffected.
+func (q *Query) Where(preds ...Pred) *Query {
+	out := &Query{db: q.db, err: q.err}
+	if out.err != nil {
+		return out
+	}
+	s, ok := q.node.(*exec.Scan)
+	if !ok || q.gb != nil {
+		out.err = fmt.Errorf("hierdb: Where must immediately follow Scan")
+		return out
+	}
+	ns := *s
+	ns.Preds = append(append([]Pred(nil), ns.Preds...), preds...)
+	out.node = &ns
+	return out
+}
+
 // Join hash-joins the receiver (probe side, streamed) with build
 // (materialized into a striped hash table) on probeKey = buildKey.
 // Output rows are probe columns then build columns unless Combine is

@@ -3,8 +3,15 @@ package hierdb
 // Streaming result iteration. Rows is fed by the engine's bounded sink:
 // workers block when the consumer lags (backpressure), so a result set
 // is never materialized unless the caller asks for it with Collect.
+//
+// The engine streams columnar batches; Rows is the row boundary. Row
+// materialization is lazy — Next only advances a cursor, and a caller
+// that skips Row() for a batch never pays for boxing it into rows.
 
-import "hierdb/internal/exec"
+import (
+	"hierdb/internal/exec"
+	"hierdb/internal/vec"
+)
 
 // Rows streams a running query's results:
 //
@@ -21,9 +28,10 @@ import "hierdb/internal/exec"
 // drain it or Close.
 type Rows struct {
 	h      *exec.Handle
-	batch  []Row
-	i      int
+	batch  *vec.Batch
+	i      int // next logical row of batch
 	cur    Row
+	arena  vec.Arena
 	err    error
 	closed bool
 }
@@ -35,9 +43,9 @@ func (r *Rows) Next() bool {
 	if r.closed {
 		return false
 	}
+	r.cur = nil
 	for {
-		if r.i < len(r.batch) {
-			r.cur = r.batch[r.i]
+		if r.batch != nil && r.i < r.batch.N {
 			r.i++
 			return true
 		}
@@ -52,9 +60,15 @@ func (r *Rows) Next() bool {
 	}
 }
 
-// Row returns the current row. Valid after a true Next until the next
-// call; the engine does not reuse row storage, so retaining rows is safe.
-func (r *Rows) Row() Row { return r.cur }
+// Row returns the current row, materialized from the columnar batch on
+// first call. Valid after a true Next until the next call; the engine
+// does not reuse row storage, so retaining rows is safe.
+func (r *Rows) Row() Row {
+	if r.cur == nil && r.batch != nil && r.i > 0 {
+		r.cur = r.batch.ReadRow(r.i-1, r.arena.Anys(len(r.batch.Cols)))
+	}
+	return r.cur
+}
 
 // Err returns the query's terminal error once Next has returned false
 // (nil on clean completion or when iteration was ended by Close).
@@ -68,7 +82,7 @@ func (r *Rows) Close() error {
 		return r.err
 	}
 	r.closed = true
-	r.batch, r.i = nil, 0
+	r.batch, r.i, r.cur = nil, 0, nil
 	r.h.Cancel()
 	for range r.h.Out() {
 	}
@@ -79,12 +93,27 @@ func (r *Rows) Close() error {
 func (r *Rows) Collect() ([]Row, error) {
 	var out []Row
 	if !r.closed {
-		if r.i < len(r.batch) {
-			out = append(out, r.batch[r.i:]...)
-			r.batch, r.i = nil, 0
+		// Buffer the remaining batches, then carve the row slice once at
+		// the exact total — no growslice churn on large results.
+		partial, start := r.batch, r.i
+		r.batch, r.i = nil, 0
+		var batches []*vec.Batch
+		total := 0
+		if partial != nil {
+			total += partial.N - start
 		}
 		for batch := range r.h.Out() {
-			out = append(out, batch...)
+			batches = append(batches, batch)
+			total += batch.N
+		}
+		out = make([]Row, 0, total)
+		if partial != nil {
+			for i := start; i < partial.N; i++ {
+				out = append(out, partial.ReadRow(i, r.arena.Anys(len(partial.Cols))))
+			}
+		}
+		for _, batch := range batches {
+			out = batch.AppendRows(out, &r.arena)
 		}
 		if r.err == nil {
 			r.err = r.h.Err()
