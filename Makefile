@@ -46,6 +46,14 @@ test:
 	$(GO) test -race ./...
 	$(GO) test -run 'ZeroAlloc|Amortized|AllocBound' -v ./internal/simtime/ ./internal/core/ ./internal/exec/
 	$(GO) test -run '^$$' -fuzz FuzzJoinEquivalence -fuzztime 30s ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz FuzzTableFileRoundTrip -fuzztime 30s ./internal/difftest/
+	$(GO) build -o bin/hdbtable ./cmd/hdbtable
+	@rm -f /tmp/hdb-smoke.hdb; \
+	./bin/hdbtable write -o /tmp/hdb-smoke.hdb -chunk 64 -synth -seed 7 -nrel 3 -rel 0 && \
+	./bin/hdbtable inspect -zones /tmp/hdb-smoke.hdb >/dev/null && \
+	out=$$(./bin/hdbtable scan -col 0 -op lt -val 5 /tmp/hdb-smoke.hdb); echo "$$out"; \
+	case "$$out" in *"skipped=0"*) echo "zone-map pruning skipped no chunks"; exit 1;; esac; \
+	rm -f /tmp/hdb-smoke.hdb
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 determinism:
@@ -57,7 +65,7 @@ determinism:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/simtime/; \
 	  $(GO) test -run '^$$' -bench 'Churn|MultiNode' -benchmem ./internal/core/; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkFig6$$|BenchmarkEngineJoinDP$$|ConcurrentQueries|StreamingSink|MultiNodeSkew|SpillJoin' -benchtime 10x -benchmem .; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFig6$$|BenchmarkEngineJoinDP$$|ConcurrentQueries|StreamingSink|MultiNodeSkew|SpillJoin|DiskScan|DiskJoinSpill' -benchtime 10x -benchmem .; \
 	} | tee $(BENCH_OUT)
 
 benchdiff: bench

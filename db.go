@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"hierdb/internal/exec"
+	"hierdb/internal/store"
 )
 
 // dbConfig collects Open-time options.
@@ -106,6 +107,7 @@ func WithSpillDir(dir string) Option { return func(c *dbConfig) { c.spillDir = d
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	files  []*store.TableFile // open table files (RegisterTableFile), closed with the DB
 	closed bool
 
 	eng *exec.Nodes
@@ -176,6 +178,48 @@ func (db *DB) RegisterTable(t *Table) error {
 	return nil
 }
 
+// RegisterTableFile opens a chunked columnar table file (written by
+// cmd/hdbtable or internal/store) and registers it under name. Queries
+// over a file-backed table stream its row-group chunks from disk
+// lazily — the table is never resident as a whole — with Where
+// predicates consulting each chunk's zone maps to skip chunks that
+// provably match no row before any I/O (see the ChunksScanned /
+// ChunksSkipped / DiskBytesRead counters on EngineStats). Under
+// WithMemory, decoded chunks are charged against the node budget while
+// in flight, so joins over files much larger than the budget spill
+// exactly like their in-memory counterparts. On a multi-node DB,
+// chunks are assigned to node fragments positionally, mirroring
+// RegisterTable's hash partitioning. The file handle stays open until
+// Close.
+func (db *DB) RegisterTableFile(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("hierdb: table without a name")
+	}
+	if db.err != nil {
+		return db.err
+	}
+	f, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	t := &Table{Name: name, Cols: append([]string(nil), f.Cols()...), File: f}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("hierdb: database closed")
+	}
+	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("hierdb: table %q already registered", name)
+	}
+	db.tables[name] = t
+	db.files = append(db.files, f)
+	db.mu.Unlock()
+	return nil
+}
+
 // Table returns a registered table by name.
 func (db *DB) Table(name string) (*Table, bool) {
 	db.mu.RLock()
@@ -209,9 +253,19 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	files := db.files
+	db.files = nil
 	db.mu.Unlock()
 	if db.eng != nil {
+		// Engine close first: it blocks until every worker goroutine has
+		// exited, so no ReadChunk can race the file closes below.
 		db.eng.Close()
 	}
-	return nil
+	var err error
+	for _, f := range files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

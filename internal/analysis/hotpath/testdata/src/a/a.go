@@ -58,6 +58,35 @@ func unannotated(xs []int) {
 	fmt.Println()
 }
 
+// A zone-map prune check that boxes each chunk minimum to compare it
+// through an interface: the per-chunk loop must compare typed zone
+// fields, not boxed values.
+//
+//hierdb:hotpath
+func boxingZoneCheck(mins []int64, want any) bool {
+	for _, m := range mins {
+		var v any = m // want `implicit conversion of int64 to any boxes a scalar`
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Chunk pruning that accumulates survivors into an unsized local: the
+// survivor list is bounded by the chunk directory, so presize it.
+//
+//hierdb:hotpath
+func collectSurvivors(maxs []int64, lo int64) []int {
+	var keep []int
+	for i, m := range maxs {
+		if m >= lo {
+			keep = append(keep, i) // want `append to keep grows without preallocated capacity`
+		}
+	}
+	return keep
+}
+
 // A columnar kernel that boxes per row: writing scalars from a typed
 // column into boxed storage inside the per-row loop defeats the typed
 // representation — boxing belongs only at the vec->Row boundary.

@@ -72,6 +72,41 @@ func filterGtColumnar(vals []int64, sel []int32, limit int64, out []int32) []int
 	return out
 }
 
+type zone struct {
+	hasRange   bool
+	minI, maxI int64
+}
+
+// A zone-map prune check in the sanctioned shape: straight typed field
+// comparisons over the footer-resident zones — no boxing, no growth,
+// nothing allocated per chunk consulted.
+//
+//hierdb:hotpath
+func chunkSkippable(zs []zone, lo, hi int64) bool {
+	for i := range zs {
+		z := &zs[i]
+		if !z.hasRange {
+			continue
+		}
+		if z.maxI < lo || z.minI > hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Chunk-decode fan-out in the sanctioned shape: the decoded batch
+// references are written into a caller-presized scratch slice.
+//
+//hierdb:hotpath
+func fanOutChunks(decoded []*emitter, outs []*emitter) []*emitter {
+	outs = outs[:0]
+	for _, d := range decoded {
+		outs = append(outs, d) // caller-provided scratch: amortized by design
+	}
+	return outs
+}
+
 // The row boundary: materializing a row copies already-boxed interface
 // words out of a column — the one sanctioned boxing site, and it does
 // not box (the words were boxed when the column was built).

@@ -19,11 +19,13 @@ package difftest
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"hierdb"
 	"hierdb/internal/querygen"
+	"hierdb/internal/store"
 	"hierdb/internal/xrand"
 )
 
@@ -157,6 +159,32 @@ func (c *Case) Build(db *hierdb.DB) (*hierdb.Query, error) {
 			return nil, err
 		}
 	}
+	return c.plan(db), nil
+}
+
+// BuildDisk writes every relation to a chunked columnar table file
+// under dir (cleaned up by the caller; tests pass t.TempDir) and
+// registers the files instead of the in-memory tables, then assembles
+// the same left-deep plan. Queries over the resulting DB stream
+// chunks from disk, so cross-checking a BuildDisk leg against a Build
+// leg is the end-to-end proof that persistence is invisible to query
+// semantics.
+func (c *Case) BuildDisk(db *hierdb.DB, dir string, chunkRows int) (*hierdb.Query, error) {
+	for _, tb := range c.Tables {
+		path := filepath.Join(dir, tb.Name+".hdb")
+		if err := store.WriteTable(path, tb.Cols, chunkRows, tb.Rows); err != nil {
+			return nil, err
+		}
+		if err := db.RegisterTableFile(tb.Name, path); err != nil {
+			return nil, err
+		}
+	}
+	return c.plan(db), nil
+}
+
+// plan assembles the case's left-deep join chain, assuming every
+// relation is already registered under its table name.
+func (c *Case) plan(db *hierdb.DB) *hierdb.Query {
 	offsets := make([]int, len(c.Tables)) // column offset of each relation in the accumulated row
 	acc := db.Scan(c.Tables[c.order[0]].Name)
 	width := len(c.Tables[c.order[0]].Cols)
@@ -174,7 +202,7 @@ func (c *Case) Build(db *hierdb.DB) (*hierdb.Query, error) {
 		offsets[rel] = width
 		width += len(c.Tables[rel].Cols)
 	}
-	return acc, nil
+	return acc
 }
 
 // Reference evaluates the case with a naive row-at-a-time interpreter —
@@ -226,6 +254,22 @@ func (c *Case) RunLeg(ctx context.Context, opts ...hierdb.Option) (map[string]in
 	db := hierdb.Open(opts...)
 	defer db.Close()
 	q, err := c.Build(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, st, err := q.Collect(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Multiset(rows), st, nil
+}
+
+// RunDiskLeg is RunLeg with the case's tables streamed from chunked
+// table files written under dir instead of resident rows.
+func (c *Case) RunDiskLeg(ctx context.Context, dir string, chunkRows int, opts ...hierdb.Option) (map[string]int, *hierdb.EngineStats, error) {
+	db := hierdb.Open(opts...)
+	defer db.Close()
+	q, err := c.BuildDisk(db, dir, chunkRows)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,10 +3,14 @@ package difftest
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hierdb"
 	"hierdb/internal/leaktest"
+	"hierdb/internal/store"
+	"hierdb/internal/xrand"
 )
 
 // tinyBudget forces Grace-style spilling on essentially every build
@@ -36,6 +40,22 @@ func legs(t *testing.T) []struct {
 		// Reference interpreter (not just the engine reference leg).
 		{"vec-1node", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithBatch(16), hierdb.WithMorsel(64)}},
 		{"vec-4node-tinymem", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithBatch(16), hierdb.WithMorsel(64), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+	}
+}
+
+// diskLegs are the disk-backed engine configurations: table files
+// streamed chunk-by-chunk under the same tiny budget the in-memory
+// tinymem legs run with.
+func diskLegs(t *testing.T) []struct {
+	name string
+	opts []hierdb.Option
+} {
+	return []struct {
+		name string
+		opts []hierdb.Option
+	}{
+		{"disk-tinymem", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		{"disk-4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 	}
 }
 
@@ -84,6 +104,25 @@ func TestDifferentialQueries(t *testing.T) {
 					spilled = true
 				}
 			}
+			// Disk-backed legs: the same case streamed from chunked table
+			// files under a tiny budget, single-node and 4-node. 64-row
+			// chunks make even these CI-scale relations span many chunks,
+			// so chunk boundaries land mid-join everywhere.
+			for _, leg := range diskLegs(t) {
+				got, st, err := c.RunDiskLeg(ctx, t.TempDir(), 64, leg.opts...)
+				if err != nil {
+					t.Fatalf("%s leg %s: %v", name, leg.name, err)
+				}
+				if err := DiffMultisets(leg.name, ls[0].name, got, ref); err != nil {
+					t.Fatal(err)
+				}
+				if st.ChunksScanned == 0 {
+					t.Fatalf("%s leg %s: no chunks scanned — the leg did not stream from disk", name, leg.name)
+				}
+				if st.SpillPhases > 0 {
+					spilled = true
+				}
+			}
 		})
 	}
 	// Not every generated query is big enough to spill, so the
@@ -123,6 +162,77 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 	if err := DiffMultisets("rerun", "first", got, want); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDiskJoinLargerThanMemory is the acceptance gate for governed
+// disk streaming: a self-join over a table file at least 10x the
+// node's memory budget must spill (SpillPhases > 0) and return the
+// identical multiset to the ungoverned in-memory run, on one node and
+// on four.
+func TestDiskJoinLargerThanMemory(t *testing.T) {
+	leaktest.Check(t, 2)
+	const n = 30_000
+	cols := []string{"id", "k", "payload"}
+	tb := &hierdb.Table{Name: "fact", Cols: cols}
+	r := xrand.New(0xD15C)
+	for i := 0; i < n; i++ {
+		tb.Rows = append(tb.Rows, hierdb.Row{i, r.Intn(n / 2), fmt.Sprintf("payload-%08d", i)})
+	}
+	path := filepath.Join(t.TempDir(), "fact.hdb")
+	if err := store.WriteTable(path, cols, 1024, tb.Rows); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := fi.Size() / 10
+	t.Logf("file %d bytes, budget %d bytes", fi.Size(), budget)
+
+	ctx := context.Background()
+	selfJoin := func(db *hierdb.DB, governed bool) map[string]int {
+		t.Helper()
+		rows, st, err := db.Scan("fact").Join(db.Scan("fact"), hierdb.KeyCol(1), hierdb.KeyCol(1)).Collect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if governed {
+			if st.SpillPhases == 0 {
+				t.Fatalf("10x-over-budget join never spilled: %+v", st)
+			}
+			if st.DiskBytesRead == 0 {
+				t.Fatalf("file-backed join read no chunk bytes: %+v", st)
+			}
+		}
+		return Multiset(rows)
+	}
+
+	memDB := hierdb.Open(hierdb.WithWorkers(4))
+	defer memDB.Close()
+	if err := memDB.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	want := selfJoin(memDB, false)
+
+	for _, leg := range []struct {
+		name string
+		opts []hierdb.Option
+	}{
+		{"disk-1node", []hierdb.Option{hierdb.WithWorkers(4)}},
+		{"disk-4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2)}},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			opts := append(leg.opts, hierdb.WithMemory(budget), hierdb.WithSpillDir(t.TempDir()))
+			db := hierdb.Open(opts...)
+			defer db.Close()
+			if err := db.RegisterTableFile("fact", path); err != nil {
+				t.Fatal(err)
+			}
+			if err := DiffMultisets(leg.name, "in-memory", selfJoin(db, true), want); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

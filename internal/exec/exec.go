@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"hierdb/internal/spill"
+	"hierdb/internal/store"
 	"hierdb/internal/vec"
 )
 
@@ -27,11 +28,22 @@ import (
 // files without conversion.
 type Row = spill.Row
 
-// Table is a named in-memory relation.
+// Table is a named relation: either in-memory (Rows) or disk-backed
+// (File, a chunked columnar table file opened with store.Open). Exactly
+// one of the two is the data source — a file-backed table leaves Rows
+// nil, and scans over it stream chunks from disk lazily instead of
+// columnizing a resident row slice.
 type Table struct {
 	Name string
 	Cols []string
 	Rows []Row
+
+	// File, when non-nil, makes the table disk-backed: scans read its
+	// row-group chunks on demand (consulting per-chunk zone maps to skip
+	// chunks no predicate can match), and on a multi-node engine chunks
+	// are assigned to node fragments positionally, like RegisterTable's
+	// hash partitioning of resident rows.
+	File *store.TableFile
 
 	// vcache caches the table's columnized form (see columnize). Tables
 	// are registered once and treated as immutable thereafter; callers
@@ -40,7 +52,12 @@ type Table struct {
 }
 
 // NumRows returns the table's cardinality.
-func (t *Table) NumRows() int { return len(t.Rows) }
+func (t *Table) NumRows() int {
+	if t.File != nil {
+		return int(t.File.NumRows())
+	}
+	return len(t.Rows)
+}
 
 // Col returns the index of a named column, or -1.
 func (t *Table) Col(name string) int {
@@ -87,7 +104,7 @@ type Scan struct {
 	Filter func(Row) bool
 }
 
-func (s *Scan) estimate() float64 { return float64(len(s.Table.Rows)) }
+func (s *Scan) estimate() float64 { return float64(s.Table.NumRows()) }
 
 // Join is a hash equi-join. Build is materialized into a hash table;
 // Probe streams against it. Combine merges a matched pair into an output
@@ -236,6 +253,17 @@ type Stats struct {
 	// SpillPhases counts partition-wise join phases executed (build
 	// partitions loaded into an in-memory table and probed).
 	SpillPhases int64
+
+	// Disk-scan fields, populated only when the plan scanned file-backed
+	// tables (RegisterTableFile).
+
+	// ChunksScanned counts table-file chunks read and decoded;
+	// ChunksSkipped counts chunks pruned by their zone maps before any
+	// I/O (a Where predicate provably matched none of the chunk's rows).
+	ChunksScanned int64
+	ChunksSkipped int64
+	// DiskBytesRead counts encoded chunk bytes read from table files.
+	DiskBytesRead int64
 }
 
 // NodeStats is one SM-node's share of a multi-node query's counters.
@@ -263,6 +291,11 @@ type NodeStats struct {
 	SpilledPartitions int64
 	SpilledBytes      int64
 	SpillPhases       int64
+	// ChunksScanned/ChunksSkipped/DiskBytesRead are this node's share of
+	// the disk-scan counters (see Stats).
+	ChunksScanned int64
+	ChunksSkipped int64
+	DiskBytesRead int64
 }
 
 // Imbalance returns max/mean of PerWorker (1 = perfectly balanced).

@@ -105,6 +105,11 @@ func (ns *Nodes) Workers() int { return ns.workers }
 // should go through Partition; query-time partitioning of other tables
 // uses partitionFor, which does not cache.
 func (ns *Nodes) Partition(t *Table) []*vec.Batch {
+	if t.File != nil {
+		// File-backed tables are never resident-partitioned: chunks are
+		// assigned to node fragments positionally at chain start.
+		return nil
+	}
 	if ns.n == 1 {
 		return []*vec.Batch{columnize(t)}
 	}
@@ -220,7 +225,7 @@ func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options
 		ops:       make([]mop, len(phys.ops)),
 	}
 	for _, op := range phys.ops {
-		if op.kind == opScan {
+		if op.kind == opScan && op.scan.Table.File == nil {
 			mq.scanParts[op.id] = ns.partitionFor(op.scan.Table)
 		}
 	}
@@ -396,14 +401,28 @@ func (mq *mquery) startChain(c int) bool {
 		}
 		if !fq.aborted {
 			or := fq.ops[driver.id]
-			part := mq.scanParts[driver.id][i]
-			for lo := 0; lo < part.N; lo += mq.opt.Morsel {
-				hi := lo + mq.opt.Morsel
-				if hi > part.N {
-					hi = part.N
+			if ft := driver.scan.Table.File; ft != nil {
+				// File-backed driver: chunks are assigned to fragments
+				// positionally — mix64 of the chunk index, mirroring
+				// hashPartition's row rule — so every node streams a
+				// balanced share regardless of data distribution.
+				for ci := 0; ci < ft.NumChunks(); ci++ {
+					if int(mix64(uint64(ci))%uint64(mq.n)) != i {
+						continue
+					}
+					fq.enqueueLocked(or, &activation{op: driver, lo: ci, hi: ci + 1})
+					total++
 				}
-				fq.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
-				total++
+			} else {
+				part := mq.scanParts[driver.id][i]
+				for lo := 0; lo < part.N; lo += mq.opt.Morsel {
+					hi := lo + mq.opt.Morsel
+					if hi > part.N {
+						hi = part.N
+					}
+					fq.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+					total++
+				}
 			}
 			if fq.allowed != nil {
 				fq.assignStatic(chain)
@@ -700,9 +719,15 @@ func (mq *mquery) sealStatsLocked() {
 		nst.SpilledPartitions = fq.spilledParts.Load()
 		nst.SpilledBytes = fq.spilledBytes.Load()
 		nst.SpillPhases = fq.spillPhases.Load()
+		nst.ChunksScanned = fq.chunksScanned.Load()
+		nst.ChunksSkipped = fq.chunksSkipped.Load()
+		nst.DiskBytesRead = fq.diskBytes.Load()
 		s.SpilledPartitions += nst.SpilledPartitions
 		s.SpilledBytes += nst.SpilledBytes
 		s.SpillPhases += nst.SpillPhases
+		s.ChunksScanned += nst.ChunksScanned
+		s.ChunksSkipped += nst.ChunksSkipped
+		s.DiskBytesRead += nst.DiskBytesRead
 		s.Activations += nst.Activations
 		s.ResultRows += nst.ResultRows
 		s.PerWorker = append(s.PerWorker, nst.PerWorker...)

@@ -452,8 +452,14 @@ func (p *Pool) worker(w int) {
 		p.mu.Unlock()
 
 		outs, results := q.process(a, w)
+		// Chunk-memory refcounting: downstream activations share the
+		// decoded chunk's column storage, so they inherit references
+		// before this activation's own is released (post-deliver: a
+		// root-scan result batch is refunded at the sink handoff).
+		a.retainFor(outs)
 		atomic.AddInt64(&q.stats.PerWorker[w], 1)
 		delivered := q.deliver(w, results, &parkTimer)
+		a.res.release()
 
 		if mq := q.mq; mq != nil {
 			// Multi-node fragment: routing and operator/chain accounting

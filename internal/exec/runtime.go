@@ -182,7 +182,8 @@ func (p *physical) buildChains() {
 type activation struct {
 	op *pop
 	b  *vec.Batch
-	// morsel bounds for scans
+	// morsel bounds for scans. For a scan over a file-backed table the
+	// activation is one chunk: lo is the chunk index and hi = lo+1.
 	lo, hi int
 	// dest is the node a routed batch is bound for (multi-node queries
 	// only; scan morsels and single-node batches leave it 0).
@@ -190,6 +191,10 @@ type activation struct {
 	// spill carries the payload of a spill-phase activation (load a
 	// partition / probe a spilled batch); nil for ordinary activations.
 	spill *spillAct
+	// res is the refcounted memory charge of the decoded chunk this
+	// activation's batch shares storage with (governed file scans only;
+	// the worker loop propagates it downstream and releases it).
+	res *chunkRes
 }
 
 // opRun is the runtime state of one operator.
@@ -333,6 +338,11 @@ type query struct {
 	spilledParts atomic.Int64
 	spilledBytes atomic.Int64
 	spillPhases  atomic.Int64
+	// Disk-scan counters (file-backed tables; sealed like the spill
+	// counters).
+	chunksScanned atomic.Int64
+	chunksSkipped atomic.Int64
+	diskBytes     atomic.Int64
 
 	stats Stats
 	acts  int64
@@ -435,15 +445,26 @@ func (q *query) startChainLocked(c int) {
 	chain := q.p.chains[c]
 	driver := chain[0]
 	or := q.ops[driver.id]
-	total := q.scanSrc(driver).N
-	for lo := 0; lo < total; lo += q.opt.Morsel {
-		hi := lo + q.opt.Morsel
-		if hi > total {
-			hi = total
+	seeded := 0
+	if ft := driver.scan.Table.File; ft != nil {
+		// File-backed driver: one activation per chunk (the chunk is the
+		// morsel — decode cost, not row count, is the work unit).
+		for ci := 0; ci < ft.NumChunks(); ci++ {
+			q.enqueueLocked(or, &activation{op: driver, lo: ci, hi: ci + 1})
+			seeded++
 		}
-		q.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+	} else {
+		total := q.scanSrc(driver).N
+		for lo := 0; lo < total; lo += q.opt.Morsel {
+			hi := lo + q.opt.Morsel
+			if hi > total {
+				hi = total
+			}
+			q.enqueueLocked(or, &activation{op: driver, lo: lo, hi: hi})
+			seeded++
+		}
 	}
-	if total == 0 {
+	if seeded == 0 {
 		// Degenerate input: the scan is born finished.
 		or.prodEnd = true
 		q.opFinishedLocked(or)
@@ -703,6 +724,9 @@ func (q *query) finalize() {
 	q.stats.SpilledPartitions = q.spilledParts.Load()
 	q.stats.SpilledBytes = q.spilledBytes.Load()
 	q.stats.SpillPhases = q.spillPhases.Load()
+	q.stats.ChunksScanned = q.chunksScanned.Load()
+	q.stats.ChunksSkipped = q.chunksSkipped.Load()
+	q.stats.DiskBytesRead = q.diskBytes.Load()
 	close(q.sink)
 	close(q.finished)
 	q.cancel()
@@ -756,6 +780,9 @@ func (q *query) process(a *activation, w int) (outs []*activation, results *vec.
 	}
 	switch a.op.kind {
 	case opScan:
+		if a.op.scan.Table.File != nil {
+			return q.processScanFile(a, w)
+		}
 		return q.processScanVec(a, w)
 	case opBuild:
 		or := q.ops[a.op.id]

@@ -94,6 +94,12 @@ func annotateVec(p *physical) {
 	for _, op := range p.ops {
 		switch op.kind {
 		case opScan:
+			if ft := op.scan.Table.File; ft != nil {
+				// File-backed: the footer's schema kinds are exactly what
+				// a resident FromRows over the table would have resolved.
+				op.outKinds = append([]vec.Kind(nil), ft.Kinds()...)
+				break
+			}
 			tb := columnize(op.scan.Table)
 			op.outKinds = make([]vec.Kind, len(tb.Cols))
 			for i := range tb.Cols {
@@ -531,34 +537,48 @@ func (q *query) processScanVec(a *activation, w int) (outs []*activation, result
 	b := window(src, a.lo, a.hi)
 	vs := &q.vscratch[w]
 	arena := &q.varenas[w]
-	if len(s.Preds) > 0 || s.Filter != nil {
-		if cap(vs.sel) < b.N {
-			vs.sel = make([]int32, 0, b.N)
-		}
-		sel := vec.ApplyPreds(b, s.Preds, nil, vs.sel[:0])
-		if s.Filter != nil {
-			scratch := vs.rowScratch(len(b.Cols) + 1)
-			kept := sel[:0]
-			for _, li := range sel {
-				if s.Filter(b.ReadRow(int(li), scratch)) {
-					kept = append(kept, li)
-				}
-			}
-			sel = kept
-		}
-		vs.sel = sel[:0]
-		if len(sel) == 0 {
-			return nil, nil
-		}
-		if len(sel) < b.N {
-			b = vec.Select(b, sel, arena)
-		}
+	b = q.filterScan(s, b, vs, arena)
+	if b == nil {
+		return nil, nil
 	}
 	if a.op.consumer == nil {
 		return nil, b
 	}
 	q.emitBatch(a.op.consumer, b, &outs, vs, arena)
 	return outs, nil
+}
+
+// filterScan applies a scan's column predicates and row-filter closure
+// to b, returning the surviving batch (nil when no row passes) —
+// shared by the resident and chunk-streamed scan kernels.
+//
+//hierdb:hotpath
+func (q *query) filterScan(s *Scan, b *vec.Batch, vs *vecScratch, arena *vec.Arena) *vec.Batch {
+	if len(s.Preds) == 0 && s.Filter == nil {
+		return b
+	}
+	if cap(vs.sel) < b.N {
+		vs.sel = make([]int32, 0, b.N)
+	}
+	sel := vec.ApplyPreds(b, s.Preds, nil, vs.sel[:0])
+	if s.Filter != nil {
+		scratch := vs.rowScratch(len(b.Cols) + 1)
+		kept := sel[:0]
+		for _, li := range sel {
+			if s.Filter(b.ReadRow(int(li), scratch)) {
+				kept = append(kept, li)
+			}
+		}
+		sel = kept
+	}
+	vs.sel = sel[:0]
+	if len(sel) == 0 {
+		return nil
+	}
+	if len(sel) < b.N {
+		b = vec.Select(b, sel, arena)
+	}
+	return b
 }
 
 // processBuildVec inserts one routed batch into the join's striped

@@ -37,6 +37,54 @@ import (
 // batches.
 const tagAbsent = 9
 
+// EncodeCols appends the columnar encoding of one batch (logical rows,
+// honoring each column's selection vector) to buf and returns the
+// extended slice. It is the byte-level half of AppendCols, exported so
+// other on-disk formats (internal/store's table files) can embed the
+// identical chunk encoding without going through a spill File.
+func EncodeCols(buf []byte, b *vec.Batch) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(b.N))
+	buf = binary.AppendUvarint(buf, uint64(len(b.Cols)))
+	var err error
+	for ci := range b.Cols {
+		if buf, err = appendCol(buf, &b.Cols[ci], b.N); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeCols decodes one EncodeCols-encoded batch of the given row
+// count into a dense columnar batch. The byte-level half of ReadCols,
+// exported for the same reason as EncodeCols. Trailing bytes after the
+// batch are an error — a chunk boundary is exact.
+func DecodeCols(buf []byte, rows int) (*vec.Batch, error) {
+	if rows == 0 {
+		return &vec.Batch{}, nil
+	}
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n != uint64(rows) {
+		return nil, fmt.Errorf("corrupt batch header (got %d rows, expected %d)", n, rows)
+	}
+	buf = buf[w:]
+	ncols, w := binary.Uvarint(buf)
+	if w <= 0 || ncols > uint64(len(buf)) {
+		return nil, fmt.Errorf("corrupt column count")
+	}
+	buf = buf[w:]
+	b := &vec.Batch{Cols: make([]vec.Col, ncols), N: rows}
+	for ci := range b.Cols {
+		var err error
+		if buf, err = decodeCol(buf, &b.Cols[ci], rows); err != nil {
+			return nil, err
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after batch", len(buf))
+	}
+	return b, nil
+}
+
 // AppendCols encodes one columnar batch (logical rows, honoring each
 // column's selection vector) and writes it to the file, returning its
 // Ref. Safe for concurrent callers.
@@ -46,14 +94,9 @@ func (s *File) AppendCols(b *vec.Batch) (Ref, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	buf := s.buf[:0]
-	buf = binary.AppendUvarint(buf, uint64(b.N))
-	buf = binary.AppendUvarint(buf, uint64(len(b.Cols)))
-	var err error
-	for ci := range b.Cols {
-		if buf, err = appendCol(buf, &b.Cols[ci], b.N); err != nil {
-			return Ref{}, err
-		}
+	buf, err := EncodeCols(s.buf[:0], b)
+	if err != nil {
+		return Ref{}, err
 	}
 	s.buf = buf
 	if _, err := s.f.Write(buf); err != nil {
@@ -206,23 +249,9 @@ func (s *File) ReadCols(ref Ref) (*vec.Batch, error) {
 	if _, err := s.f.ReadAt(buf, ref.Off); err != nil {
 		return nil, fmt.Errorf("spill: read %s: %w", filepath.Base(s.path), err)
 	}
-	name := filepath.Base(s.path)
-	n, w := binary.Uvarint(buf)
-	if w <= 0 || n != uint64(ref.Rows) {
-		return nil, fmt.Errorf("spill: corrupt batch header in %s (got %d rows, ref says %d)", name, n, ref.Rows)
-	}
-	buf = buf[w:]
-	ncols, w := binary.Uvarint(buf)
-	if w <= 0 || ncols > uint64(len(buf)) {
-		return nil, fmt.Errorf("spill: corrupt column count in %s", name)
-	}
-	buf = buf[w:]
-	b := &vec.Batch{Cols: make([]vec.Col, ncols), N: ref.Rows}
-	for ci := range b.Cols {
-		var err error
-		if buf, err = decodeCol(buf, &b.Cols[ci], ref.Rows); err != nil {
-			return nil, fmt.Errorf("spill: %s: %w", name, err)
-		}
+	b, err := DecodeCols(buf, ref.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %s: %w", filepath.Base(s.path), err)
 	}
 	return b, nil
 }

@@ -1,0 +1,178 @@
+// Zone-map pruning: prove a chunk matches no row of an ANDed predicate
+// set from the footer alone, before paying the chunk's ReadAt and
+// decode. The can-match logic must be a sound over-approximation of
+// vec.applyPred — a chunk is only skipped when the predicate kernel
+// would have selected zero of its rows — including the kernel's two
+// deliberate quirks: a predicate constant outside a typed column's
+// type family matches nothing, and float comparisons treat NaN pairs
+// as equal (so a NaN *value* satisfies Eq/Le/Ge against any constant,
+// and a NaN *constant* satisfies Eq/Le/Ge against any non-null float).
+package store
+
+import "hierdb/internal/vec"
+
+// Skippable reports whether chunk i provably matches none of preds
+// (evaluated as an AND, like vec.ApplyPreds): one predicate that
+// cannot match any row skips the chunk. An empty preds never skips.
+//
+//hierdb:hotpath
+func (t *TableFile) Skippable(i int, preds []vec.Pred) bool {
+	zones := t.ft.chunks[i].Zones
+	for pi := range preds {
+		p := &preds[pi]
+		if p.Col < 0 || p.Col >= len(zones) {
+			// ApplyPreds empties the selection for out-of-range columns.
+			return true
+		}
+		if !zoneCanMatch(&zones[p.Col], p) {
+			return true
+		}
+	}
+	return false
+}
+
+// zoneCanMatch reports whether any row summarized by z could satisfy
+// p. False positives cost one decoded chunk; false negatives would be
+// wrong answers, so every branch errs toward true.
+//
+//hierdb:hotpath
+func zoneCanMatch(z *ZoneMap, p *vec.Pred) bool {
+	switch p.Op {
+	case vec.IsNull:
+		return z.HasNulls
+	case vec.NotNull:
+		return z.HasNonNull
+	}
+	if !z.HasNonNull {
+		return false // comparisons never match null rows
+	}
+	switch z.Kind {
+	case vec.Int, vec.Int32, vec.Int64:
+		v, ok := intFamilyVal(p.Val)
+		if !ok {
+			return false // constant outside the type family matches nothing
+		}
+		return rangeCanMatch(p.Op, cmpI64(v, z.MinI64), cmpI64(v, z.MaxI64))
+	case vec.Uint64:
+		v, ok := p.Val.(uint64)
+		if !ok {
+			return false
+		}
+		return rangeCanMatch(p.Op, cmpU64(v, uint64(z.MinI64)), cmpU64(v, uint64(z.MaxI64)))
+	case vec.Float64:
+		v, ok := p.Val.(float64)
+		if !ok {
+			return false
+		}
+		if z.HasNaN && (p.Op == vec.Eq || p.Op == vec.Le || p.Op == vec.Ge) {
+			return true // a NaN value compares "equal" to every constant
+		}
+		if !z.HasRange {
+			return false // all rows null or NaN, and NaN rows never match Ne/Lt/Gt
+		}
+		if v != v {
+			// NaN constant: every non-null row compares "equal" to it.
+			return p.Op == vec.Eq || p.Op == vec.Le || p.Op == vec.Ge
+		}
+		return rangeCanMatch(p.Op, cmpF64(v, z.MinF64), cmpF64(v, z.MaxF64))
+	case vec.Bool:
+		v, ok := p.Val.(bool)
+		if !ok || (p.Op != vec.Eq && p.Op != vec.Ne) {
+			return false // bools are unordered: the kernel matches nothing
+		}
+		var b int64
+		if v {
+			b = 1
+		}
+		return rangeCanMatch(p.Op, cmpI64(b, z.MinI64), cmpI64(b, z.MaxI64))
+	case vec.String:
+		v, ok := p.Val.(string)
+		if !ok {
+			return false
+		}
+		return rangeCanMatch(p.Op, cmpStr(v, z.MinStr), cmpStr(v, z.MaxStr))
+	}
+	// Any: mixed or exotic values — no range to reason with.
+	return true
+}
+
+// rangeCanMatch decides whether a value can satisfy op against the
+// closed range [min, max], given the three-way comparisons of the
+// constant against min (cmin) and max (cmax).
+//
+//hierdb:hotpath
+func rangeCanMatch(op vec.CmpOp, cmin, cmax int) bool {
+	switch op {
+	case vec.Eq:
+		return cmin >= 0 && cmax <= 0 // min <= v <= max
+	case vec.Ne:
+		return cmin != 0 || cmax != 0 // some row differs unless min == v == max
+	case vec.Lt:
+		return cmin > 0 // a row below v exists iff min < v
+	case vec.Le:
+		return cmin >= 0
+	case vec.Gt:
+		return cmax < 0 // a row above v exists iff max > v
+	case vec.Ge:
+		return cmax <= 0
+	}
+	return true
+}
+
+//hierdb:hotpath
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+//hierdb:hotpath
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+//hierdb:hotpath
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+//hierdb:hotpath
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// intFamilyVal widens an int/int32/int64 predicate constant to int64,
+// matching the kernel's cross-width int comparisons.
+func intFamilyVal(v any) (int64, bool) {
+	switch t := v.(type) {
+	case int:
+		return int64(t), true
+	case int32:
+		return int64(t), true
+	case int64:
+		return t, true
+	}
+	return 0, false
+}
