@@ -13,22 +13,24 @@ import (
 	"fmt"
 	"sync"
 
+	"hierdb/internal/catalog"
 	"hierdb/internal/exec"
 	"hierdb/internal/store"
 )
 
 // dbConfig collects Open-time options.
 type dbConfig struct {
-	nodes    int
-	workers  int
-	stripes  int
-	morsel   int
-	batch    int
-	maxq     int
-	static   bool
-	noSteal  bool
-	memory   int64
-	spillDir string
+	nodes     int
+	workers   int
+	stripes   int
+	morsel    int
+	batch     int
+	maxq      int
+	static    bool
+	noSteal   bool
+	memory    int64
+	spillDir  string
+	optimizer OptimizerMode
 }
 
 // Option configures a DB at Open time.
@@ -95,6 +97,36 @@ func WithMemory(bytes int64) Option { return func(c *dbConfig) { c.memory = byte
 // Empty (the default) means the system temp directory.
 func WithSpillDir(dir string) Option { return func(c *dbConfig) { c.spillDir = dir } }
 
+// OptimizerMode selects how much cost-based planning Run applies; see
+// WithOptimizer.
+type OptimizerMode = exec.OptimizeMode
+
+const (
+	// OptimizerOff (the default) executes the literal builder plan,
+	// byte-identical to a DB opened without WithOptimizer.
+	OptimizerOff = exec.OptimizeOff
+	// OptimizerHints keeps the builder's join order and shape but fills
+	// scheduling estimates (hash-table presizing, static allocation) from
+	// ANALYZE statistics and Hint calls. Results are identical to
+	// OptimizerOff.
+	OptimizerHints = exec.OptimizeHints
+	// OptimizerFull additionally lets the DP search (the paper's
+	// optimizer stage) reorder joins and choose build sides, minimizing
+	// estimated intermediate rows. Plans it cannot prove safe to reorder
+	// — a Combine that rewrites rows, a computed join key, a NoReorder
+	// hint, mixed-type columns — keep their literal order with the hints
+	// pass applied; Explain reports why. Results are always identical to
+	// OptimizerOff (a reordered plan that would permute output columns
+	// gets a restoring projection).
+	OptimizerFull = exec.OptimizeFull
+)
+
+// WithOptimizer sets the DB's optimizer mode (default OptimizerOff).
+// Out-of-range modes are rejected, reported by Run-time validation.
+// Statistics come from Analyze (or Register's WithStats option);
+// unanalyzed tables plan with default selectivities.
+func WithOptimizer(m OptimizerMode) Option { return func(c *dbConfig) { c.optimizer = m } }
+
 // DB is a resident database handle. Open one, register tables, build
 // queries with Scan/Join/GroupBy, execute them concurrently with Run —
 // all queries share the handle's DP worker pools, whose fair
@@ -107,12 +139,14 @@ func WithSpillDir(dir string) Option { return func(c *dbConfig) { c.spillDir = d
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	files  []*store.TableFile // open table files (RegisterTableFile), closed with the DB
+	files  []*store.TableFile             // open table files (FromFile sources), closed with the DB
+	stats  map[string]*catalog.TableStats // Analyze results by table name
 	closed bool
 
-	eng *exec.Nodes
-	opt EngineOptions
-	err error // deferred Open-time validation error, surfaced by Run
+	eng  *exec.Nodes
+	opt  EngineOptions
+	mode OptimizerMode
+	err  error // deferred Open-time validation error, surfaced by Run
 }
 
 // Open creates a resident DB. Invalid options do not panic: the error is
@@ -125,6 +159,7 @@ func Open(opts ...Option) *DB {
 	}
 	db := &DB{
 		tables: make(map[string]*Table),
+		mode:   cfg.optimizer,
 		opt: EngineOptions{
 			Stripes:         cfg.stripes,
 			Morsel:          cfg.morsel,
@@ -135,6 +170,10 @@ func Open(opts ...Option) *DB {
 			SpillDir:        cfg.spillDir,
 		},
 	}
+	if cfg.optimizer < OptimizerOff || cfg.optimizer > OptimizerFull {
+		db.err = fmt.Errorf("hierdb: invalid optimizer mode %d", cfg.optimizer)
+		return db
+	}
 	eng, err := exec.NewNodes(cfg.nodes, cfg.workers, cfg.maxq)
 	if err != nil {
 		db.err = err
@@ -144,18 +183,82 @@ func Open(opts ...Option) *DB {
 	return db
 }
 
-// RegisterTable adds a named in-memory relation to the catalog. The
-// table's rows must not be mutated after registration: a multi-node DB
-// hash-partitions the rows right here, and queries read the partitions
-// — later appends would be silently invisible to them (on a single-node
-// DB the boundary is the first query over the table).
+// TableSource names where Register's table comes from: FromTable for a
+// resident in-memory relation, FromFile for a chunked columnar table
+// file on disk.
+type TableSource struct {
+	table *Table
+	path  string
+}
+
+// FromTable sources Register from a resident in-memory relation.
+func FromTable(t *Table) TableSource { return TableSource{table: t} }
+
+// FromFile sources Register from a chunked columnar table file on disk
+// (written by cmd/hdbtable or internal/store).
+func FromFile(path string) TableSource { return TableSource{path: path} }
+
+// RegisterOption configures one Register call.
+type RegisterOption func(*registerConfig)
+
+type registerConfig struct{ analyze bool }
+
+// WithStats runs Analyze right after registration, so the cost-based
+// planner has this table's statistics from the first query on.
+func WithStats() RegisterOption { return func(c *registerConfig) { c.analyze = true } }
+
+// Register adds a named table to the catalog from either source kind.
+// For FromTable sources an empty t.Name is set to name; a non-empty
+// t.Name must equal name. RegisterTable and RegisterTableFile are thin
+// wrappers over this method.
+func (db *DB) Register(name string, src TableSource, opts ...RegisterOption) error {
+	var cfg registerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if name == "" {
+		return fmt.Errorf("hierdb: table without a name")
+	}
+	var err error
+	switch {
+	case src.table != nil:
+		t := src.table
+		if t.Name == "" {
+			t.Name = name
+		} else if t.Name != name {
+			return fmt.Errorf("hierdb: Register name %q conflicts with table name %q", name, t.Name)
+		}
+		err = db.registerMemTable(t)
+	case src.path != "":
+		err = db.registerFileTable(name, src.path)
+	default:
+		return fmt.Errorf("hierdb: Register with an empty source (use FromTable or FromFile)")
+	}
+	if err != nil {
+		return err
+	}
+	if cfg.analyze {
+		if _, aerr := db.Analyze(name); aerr != nil {
+			return aerr
+		}
+	}
+	return nil
+}
+
+// RegisterTable adds a named in-memory relation to the catalog:
+// Register(t.Name, FromTable(t)). The table's rows must not be mutated
+// after registration: a multi-node DB hash-partitions the rows right
+// here, and queries read the partitions — later appends would be
+// silently invisible to them (on a single-node DB the boundary is the
+// first query over the table).
 func (db *DB) RegisterTable(t *Table) error {
 	if t == nil {
 		return fmt.Errorf("hierdb: nil table")
 	}
-	if t.Name == "" {
-		return fmt.Errorf("hierdb: table without a name")
-	}
+	return db.Register(t.Name, FromTable(t))
+}
+
+func (db *DB) registerMemTable(t *Table) error {
 	if db.err != nil {
 		return db.err
 	}
@@ -178,23 +281,23 @@ func (db *DB) RegisterTable(t *Table) error {
 	return nil
 }
 
-// RegisterTableFile opens a chunked columnar table file (written by
-// cmd/hdbtable or internal/store) and registers it under name. Queries
-// over a file-backed table stream its row-group chunks from disk
-// lazily — the table is never resident as a whole — with Where
-// predicates consulting each chunk's zone maps to skip chunks that
-// provably match no row before any I/O (see the ChunksScanned /
-// ChunksSkipped / DiskBytesRead counters on EngineStats). Under
-// WithMemory, decoded chunks are charged against the node budget while
-// in flight, so joins over files much larger than the budget spill
-// exactly like their in-memory counterparts. On a multi-node DB,
-// chunks are assigned to node fragments positionally, mirroring
-// RegisterTable's hash partitioning. The file handle stays open until
-// Close.
+// RegisterTableFile opens a chunked columnar table file and registers
+// it under name: Register(name, FromFile(path)). Queries over a
+// file-backed table stream its row-group chunks from disk lazily — the
+// table is never resident as a whole — with Where predicates consulting
+// each chunk's zone maps to skip chunks that provably match no row
+// before any I/O (see the ChunksScanned / ChunksSkipped / DiskBytesRead
+// counters on EngineStats). Under WithMemory, decoded chunks are
+// charged against the node budget while in flight, so joins over files
+// much larger than the budget spill exactly like their in-memory
+// counterparts. On a multi-node DB, chunks are assigned to node
+// fragments positionally, mirroring RegisterTable's hash partitioning.
+// The file handle stays open until Close.
 func (db *DB) RegisterTableFile(name, path string) error {
-	if name == "" {
-		return fmt.Errorf("hierdb: table without a name")
-	}
+	return db.Register(name, FromFile(path))
+}
+
+func (db *DB) registerFileTable(name, path string) error {
 	if db.err != nil {
 		return db.err
 	}
@@ -218,6 +321,49 @@ func (db *DB) RegisterTableFile(name, path string) error {
 	db.files = append(db.files, f)
 	db.mu.Unlock()
 	return nil
+}
+
+// Analyze scans a registered table once and stores its statistics in
+// the catalog for the cost-based planner: cardinality, average row
+// bytes, and per-column distinct and null counts (linear-counting
+// estimates). File-backed tables are analyzed chunk at a time from the
+// store file, never materialized as a whole. Re-running Analyze after a
+// table file changes replaces the stored statistics. The statistics are
+// returned; they only influence planning when the DB was opened
+// WithOptimizer(OptimizerHints) or WithOptimizer(OptimizerFull).
+func (db *DB) Analyze(table string) (*TableStats, error) {
+	if db.err != nil {
+		return nil, db.err
+	}
+	db.mu.RLock()
+	t, ok := db.tables[table]
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("hierdb: database closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("hierdb: table %q not registered", table)
+	}
+	st, err := exec.Analyze(t)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.stats == nil {
+		db.stats = make(map[string]*catalog.TableStats)
+	}
+	db.stats[table] = st
+	db.mu.Unlock()
+	return st, nil
+}
+
+// statsFor adapts the DB's Analyze cache to the planner's StatsFunc.
+func (db *DB) statsFor(t *exec.Table) *catalog.TableStats {
+	db.mu.RLock()
+	st := db.stats[t.Name]
+	db.mu.RUnlock()
+	return st
 }
 
 // Table returns a registered table by name.

@@ -110,7 +110,7 @@ func main() {
 			defer wg.Done()
 			cat := fmt.Sprintf("cat%d", i)
 			rows, _, err := db.Scan("sales").
-				Join(db.Scan("products", func(r hierdb.Row) bool { return r[1].(string) == cat }),
+				Join(db.Scan("products").Where(hierdb.Pred{Col: 1, Op: hierdb.Eq, Val: cat}),
 					hierdb.KeyCol(0), hierdb.KeyCol(0)).
 				GroupBy(hierdb.KeyCol(5), hierdb.Aggregation{Func: hierdb.Count}).
 				Collect(context.Background())

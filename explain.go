@@ -1,0 +1,160 @@
+package hierdb
+
+// Explain: the structured description of the plan Run would execute,
+// produced without executing it. An ExplainPlan carries the tree shape
+// (join order, build sides, chosen strategies) with the planner's
+// cardinality estimates; after running the same query, Actualize pairs
+// the plan with the run's EngineStats to put actual per-operator row
+// counts next to the estimates.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"hierdb/internal/exec"
+)
+
+// ExplainNode is one operator of an explained plan: kind, table,
+// estimated and actual rows, chosen strategy, and children (joins list
+// [probe, build]).
+type ExplainNode = exec.ExplainNode
+
+// ExplainPlan is the planner's report for one query.
+type ExplainPlan struct {
+	// Mode is the optimizer mode that produced the plan: "off", "hints",
+	// or "full".
+	Mode string
+	// Reordered reports that the full optimizer replaced the builder's
+	// literal join order with the DP optimum.
+	Reordered bool
+	// Reason, under the full optimizer, says why the literal order was
+	// kept (empty when the plan was reordered or the mode stops short of
+	// full).
+	Reason string
+	// EstCost is the calibrated single-threaded cost estimate of the
+	// plan (see the exec cost constants); comparable across plans of the
+	// same query, not a wall-clock prediction.
+	EstCost time.Duration
+	// Root is the plan tree.
+	Root *ExplainNode
+}
+
+// Explain plans the query exactly as Run would under the DB's optimizer
+// mode and returns the structured plan without executing anything.
+// Actual row counts start at -1; run the query and call Actualize with
+// the run's stats to fill them.
+func (q *Query) Explain(ctx context.Context) (*ExplainPlan, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.db == nil {
+		return nil, fmt.Errorf("hierdb: query without a DB")
+	}
+	if q.db.err != nil {
+		return nil, q.db.err
+	}
+	q.db.mu.RLock()
+	closed := q.db.closed
+	q.db.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("hierdb: database closed")
+	}
+	if q.node == nil {
+		return nil, fmt.Errorf("hierdb: empty query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pc := exec.Optimize(q.node, q.db.mode, q.db.statsFor)
+	root, err := pc.Describe(q.gb, q.db.opt, q.db.eng.NodeCount())
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainPlan{
+		Mode:      optimizerModeName(q.db.mode),
+		Reordered: pc.Reordered,
+		Reason:    pc.Reason,
+		EstCost:   time.Duration(root.EstimateCostNs()),
+		Root:      root,
+	}, nil
+}
+
+// Actualize fills the plan's actual row counts from a finished run's
+// stats: per-operator production counters for scans and joins (see
+// EngineStats.OpRows), delivered result rows for a group-by. The run
+// must be of the same query under the same optimizer mode for operator
+// ids to line up.
+func (p *ExplainPlan) Actualize(st *EngineStats) {
+	if p == nil {
+		return
+	}
+	p.Root.Actualize(st)
+}
+
+// IntermediateRows sums the actual output rows of every join below the
+// root join — the intermediate-result volume the DP search minimizes.
+// It returns 0 for plans with at most one join and -1 before Actualize.
+func (p *ExplainPlan) IntermediateRows() int64 {
+	root := p.Root
+	if root == nil {
+		return -1
+	}
+	if root.Kind == "groupby" && len(root.Children) == 1 {
+		root = root.Children[0]
+	}
+	sum := int64(0)
+	known := true
+	var walk func(n *ExplainNode, isRoot bool)
+	walk = func(n *ExplainNode, isRoot bool) {
+		if n.Kind != "join" {
+			return
+		}
+		if !isRoot {
+			if n.ActRows < 0 {
+				known = false
+			} else {
+				sum += n.ActRows
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, false)
+		}
+	}
+	walk(root, true)
+	if !known {
+		return -1
+	}
+	return sum
+}
+
+// String renders the plan in a stable indented text form (deterministic
+// for a given query, statistics, and mode — suitable for golden tests).
+func (p *ExplainPlan) String() string {
+	var sb strings.Builder
+	sb.WriteString("mode=")
+	sb.WriteString(p.Mode)
+	if p.Reordered {
+		sb.WriteString(" reordered")
+	}
+	if p.Reason != "" {
+		sb.WriteString(" kept: ")
+		sb.WriteString(p.Reason)
+	}
+	sb.WriteByte('\n')
+	if p.Root != nil {
+		sb.WriteString(p.Root.String())
+	}
+	return sb.String()
+}
+
+func optimizerModeName(m OptimizerMode) string {
+	switch m {
+	case OptimizerHints:
+		return "hints"
+	case OptimizerFull:
+		return "full"
+	}
+	return "off"
+}

@@ -36,6 +36,7 @@ import (
 	"runtime"
 
 	"hierdb/internal/baseline"
+	"hierdb/internal/catalog"
 	"hierdb/internal/cluster"
 	"hierdb/internal/core"
 	"hierdb/internal/exec"
@@ -243,9 +244,22 @@ func KeyCol(i int) KeyFunc { return exec.KeyCol(i) }
 type EngineOptions = exec.Options
 
 // EngineStats reports per-execution counters, including per-worker load,
-// memory-governance spill counters, and, on a multi-node DB, per-node
-// breakdowns and steal counters.
+// memory-governance spill counters, per-operator row production
+// (OpRows, what Explain's Actualize reads), and, on a multi-node DB,
+// per-node breakdowns and steal counters.
+//
+// ResultRows counts the rows delivered to the caller. On a plain query
+// that is the root join's output; on a GroupBy query it counts the
+// aggregation's OUTPUT rows — one per group — not the rows folded into
+// it (the fold's input volume is the root join's OpRows entry).
 type EngineStats = exec.Stats
+
+// TableStats is one table's Analyze result: cardinality, average row
+// bytes, and per-column distinct/null estimates. See DB.Analyze.
+type TableStats = catalog.TableStats
+
+// ColStats is one column's share of a TableStats.
+type ColStats = catalog.ColStats
 
 // NodeStats is one SM-node's share of a multi-node query's counters
 // (see EngineStats.Nodes).

@@ -182,15 +182,81 @@ func (c *Case) BuildDisk(db *hierdb.DB, dir string, chunkRows int) (*hierdb.Quer
 	return c.plan(db), nil
 }
 
+// BuildBad registers the case's tables and assembles a deliberately
+// poor left-deep plan: greedy largest-cardinality-first over the
+// predicate tree — the adversarial input for the optimizer's
+// intermediate-rows acceptance test.
+func (c *Case) BuildBad(db *hierdb.DB) (*hierdb.Query, error) {
+	for _, tb := range c.Tables {
+		if err := db.RegisterTable(tb); err != nil {
+			return nil, err
+		}
+	}
+	order, attach := c.badOrder()
+	return c.planOrder(db, order, attach), nil
+}
+
+// badOrder computes the greedy largest-first left-deep order (each step
+// still attaches along a predicate edge, so the plan has no cross
+// products — just bad intermediates).
+func (c *Case) badOrder() (order, attach []int) {
+	nrel := len(c.Tables)
+	adj := make([][][2]int, nrel) // (neighbor, edge)
+	for ei, e := range c.q.Edges {
+		adj[e.A] = append(adj[e.A], [2]int{e.B, ei})
+		adj[e.B] = append(adj[e.B], [2]int{e.A, ei})
+	}
+	start := 0
+	for i := 1; i < nrel; i++ {
+		if len(c.Tables[i].Rows) > len(c.Tables[start].Rows) {
+			start = i
+		}
+	}
+	seen := make([]bool, nrel)
+	seen[start] = true
+	order, attach = []int{start}, []int{-1}
+	for len(order) < nrel {
+		best, bestEdge := -1, -1
+		for _, v := range order {
+			for _, ne := range adj[v] {
+				if !seen[ne[0]] && (best < 0 || len(c.Tables[ne[0]].Rows) > len(c.Tables[best].Rows)) {
+					best, bestEdge = ne[0], ne[1]
+				}
+			}
+		}
+		seen[best] = true
+		order = append(order, best)
+		attach = append(attach, bestEdge)
+	}
+	return order, attach
+}
+
+// AnalyzeAll runs Analyze over every one of the case's registered
+// tables, so optimizer legs plan from real statistics.
+func (c *Case) AnalyzeAll(db *hierdb.DB) error {
+	for _, tb := range c.Tables {
+		if _, err := db.Analyze(tb.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // plan assembles the case's left-deep join chain, assuming every
 // relation is already registered under its table name.
 func (c *Case) plan(db *hierdb.DB) *hierdb.Query {
+	return c.planOrder(db, c.order, c.attachEdge)
+}
+
+// planOrder assembles a left-deep join chain following the given join
+// order and attach edges.
+func (c *Case) planOrder(db *hierdb.DB, order, attach []int) *hierdb.Query {
 	offsets := make([]int, len(c.Tables)) // column offset of each relation in the accumulated row
-	acc := db.Scan(c.Tables[c.order[0]].Name)
-	width := len(c.Tables[c.order[0]].Cols)
-	for i := 1; i < len(c.order); i++ {
-		rel := c.order[i]
-		ei := c.attachEdge[i]
+	acc := db.Scan(c.Tables[order[0]].Name)
+	width := len(c.Tables[order[0]].Cols)
+	for i := 1; i < len(order); i++ {
+		rel := order[i]
+		ei := attach[i]
 		e := c.q.Edges[ei]
 		prev := e.A
 		if prev == rel {
@@ -255,6 +321,25 @@ func (c *Case) RunLeg(ctx context.Context, opts ...hierdb.Option) (map[string]in
 	defer db.Close()
 	q, err := c.Build(db)
 	if err != nil {
+		return nil, nil, err
+	}
+	rows, st, err := q.Collect(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Multiset(rows), st, nil
+}
+
+// RunAnalyzedLeg is RunLeg with an Analyze pass over every table before
+// execution — the configuration the optimizer legs run under.
+func (c *Case) RunAnalyzedLeg(ctx context.Context, opts ...hierdb.Option) (map[string]int, *hierdb.EngineStats, error) {
+	db := hierdb.Open(opts...)
+	defer db.Close()
+	q, err := c.Build(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.AnalyzeAll(db); err != nil {
 		return nil, nil, err
 	}
 	rows, st, err := q.Collect(ctx)

@@ -20,26 +20,35 @@ const tinyBudget = 16 << 10
 // legs are the engine configurations every generated query is
 // cross-checked across. The first leg is the reference.
 func legs(t *testing.T) []struct {
-	name string
-	opts []hierdb.Option
+	name    string
+	analyze bool
+	opts    []hierdb.Option
 } {
 	return []struct {
-		name string
-		opts []hierdb.Option
+		name    string
+		analyze bool
+		opts    []hierdb.Option
 	}{
-		{"1node", []hierdb.Option{hierdb.WithNodes(1), hierdb.WithWorkers(4)}},
-		{"4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2)}},
-		{"static", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithStatic(true)}},
-		{"nosteal", []hierdb.Option{hierdb.WithNodes(2), hierdb.WithWorkers(2), hierdb.WithStealing(false)}},
-		{"tinymem", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
-		{"tinymem-4node", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		{"1node", false, []hierdb.Option{hierdb.WithNodes(1), hierdb.WithWorkers(4)}},
+		{"4node", false, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2)}},
+		{"static", false, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithStatic(true)}},
+		{"nosteal", false, []hierdb.Option{hierdb.WithNodes(2), hierdb.WithWorkers(2), hierdb.WithStealing(false)}},
+		{"tinymem", false, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		{"tinymem-4node", false, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 		// The columnar-kernel legs: tiny batches force constant batch
 		// boundaries, padding and selection-vector churn through the vec
 		// pipeline, on one node and on four governed nodes. Both are
 		// additionally cross-checked against the naive row-at-a-time
 		// Reference interpreter (not just the engine reference leg).
-		{"vec-1node", []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithBatch(16), hierdb.WithMorsel(64)}},
-		{"vec-4node-tinymem", []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithBatch(16), hierdb.WithMorsel(64), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		{"vec-1node", false, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithBatch(16), hierdb.WithMorsel(64)}},
+		{"vec-4node-tinymem", false, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithBatch(16), hierdb.WithMorsel(64), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		// The optimizer legs: every table Analyze'd, full cost-based
+		// planning on. The DP search may reorder every join, so multiset
+		// identity against the literal-order reference leg is the proof
+		// that planning never changes results — single-node and on four
+		// governed nodes.
+		{"opt-1node", true, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithOptimizer(hierdb.OptimizerFull)}},
+		{"opt-4node-tinymem", true, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithOptimizer(hierdb.OptimizerFull), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 	}
 }
 
@@ -93,7 +102,11 @@ func TestDifferentialQueries(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, leg := range ls[1:] {
-				got, st, err := c.RunLeg(ctx, leg.opts...)
+				run := c.RunLeg
+				if leg.analyze {
+					run = c.RunAnalyzedLeg
+				}
+				got, st, err := run(ctx, leg.opts...)
 				if err != nil {
 					t.Fatalf("%s leg %s: %v", name, leg.name, err)
 				}
@@ -132,6 +145,66 @@ func TestDifferentialQueries(t *testing.T) {
 	if ran == queries && !spilled {
 		t.Fatal("no differential leg ever spilled: the tiny-memory legs are not exercising governance")
 	}
+}
+
+// TestOptimizerBeatsBadOrder is the cost-based planner's acceptance
+// gate: over the differential corpus rebuilt with a deliberately bad
+// (greedy largest-first) join order, the full optimizer must return the
+// identical row multiset on every query and, on at least one, produce
+// strictly fewer intermediate rows than the literal bad order — both
+// measured from the run's per-operator Stats via Explain/Actualize.
+func TestOptimizerBeatsBadOrder(t *testing.T) {
+	leaktest.Check(t, 2)
+	ctx := context.Background()
+	const queries = 26
+	improved := 0
+	for qi := 0; qi < queries; qi++ {
+		nrel := 3 + qi%3
+		name := fmt.Sprintf("B%02d", qi)
+		c := Synthesize(0xD1FF+uint64(qi)*7919, name, nrel)
+		runBad := func(analyze bool, opts ...hierdb.Option) (map[string]int, int64) {
+			t.Helper()
+			db := hierdb.Open(opts...)
+			defer db.Close()
+			q, err := c.BuildBad(db)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if analyze {
+				if err := c.AnalyzeAll(db); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			p, err := q.Explain(ctx)
+			if err != nil {
+				t.Fatalf("%s explain: %v", name, err)
+			}
+			rows, st, err := q.Collect(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			p.Actualize(st)
+			ir := p.IntermediateRows()
+			if ir < 0 {
+				t.Fatalf("%s: intermediate rows unknown after Actualize", name)
+			}
+			return Multiset(rows), ir
+		}
+		off, offIR := runBad(false, hierdb.WithWorkers(4))
+		full, fullIR := runBad(true, hierdb.WithWorkers(4), hierdb.WithOptimizer(hierdb.OptimizerFull))
+		if err := DiffMultisets("opt-full-bad", "off-bad", full, off); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fullIR < offIR {
+			improved++
+		} else if fullIR > offIR {
+			t.Logf("%s: optimizer chose a worse order (%d vs %d intermediate rows)", name, fullIR, offIR)
+		}
+	}
+	if improved == 0 {
+		t.Fatal("the optimizer never reduced intermediate rows against the bad-order corpus")
+	}
+	t.Logf("optimizer reduced intermediate rows on %d/%d bad-order queries", improved, queries)
 }
 
 // TestSynthesizeDeterministic: the same seed must materialize identical

@@ -102,9 +102,19 @@ type Scan struct {
 	Table  *Table
 	Preds  []vec.Pred
 	Filter func(Row) bool
+	// RowsHint, when positive, pins the scan's estimated output
+	// cardinality (rows surviving Preds/Filter) for scheduling and
+	// optimization; 0 means unhinted. The optimizer's hint pass fills it
+	// on cloned nodes from catalog statistics.
+	RowsHint int64
 }
 
-func (s *Scan) estimate() float64 { return float64(s.Table.NumRows()) }
+func (s *Scan) estimate() float64 {
+	if s.RowsHint > 0 {
+		return float64(s.RowsHint)
+	}
+	return float64(s.Table.NumRows())
+}
 
 // Join is a hash equi-join. Build is materialized into a hash table;
 // Probe streams against it. Combine merges a matched pair into an output
@@ -116,9 +126,19 @@ type Join struct {
 	// Selectivity hints the output-to-input ratio for scheduling
 	// estimates (default 1).
 	Selectivity float64
+	// RowsHint, when positive, pins the join's estimated output
+	// cardinality, taking precedence over Selectivity; 0 means unhinted.
+	RowsHint int64
+	// NoReorder pins this join (and everything below it) to the literal
+	// builder order: the full optimizer mode leaves plans containing a
+	// NoReorder join untouched.
+	NoReorder bool
 }
 
 func (j *Join) estimate() float64 {
+	if j.RowsHint > 0 {
+		return float64(j.RowsHint)
+	}
 	s := j.Selectivity
 	if s <= 0 {
 		s = 1
@@ -220,6 +240,14 @@ type Stats struct {
 	// of every node's workers in node order, so Imbalance() still reports
 	// the engine-wide spread.
 	PerWorker []int64
+	// OpRows counts rows produced by each physical operator, indexed by
+	// operator id in compile order: a scan's filtered output, a probe's
+	// join output (build operators produce no rows). Spill-phase replays
+	// of already-counted input are not re-counted, and on a multi-node
+	// engine rows are attributed at production, before redistribution.
+	// Explain's Actualize reads it to pair actual cardinalities with the
+	// planner's estimates.
+	OpRows []int64
 
 	// Multi-node fields, populated only when the query ran on a Nodes
 	// engine with more than one node (nil/zero otherwise).

@@ -705,7 +705,13 @@ func (mq *mquery) fragRetired() {
 func (mq *mquery) sealStatsLocked() {
 	s := &mq.stats
 	s.Nodes = make([]NodeStats, mq.n)
+	if len(mq.frags) > 0 {
+		s.OpRows = make([]int64, len(mq.frags[0].opRows))
+	}
 	for i, fq := range mq.frags {
+		for oi := range fq.opRows {
+			s.OpRows[oi] += atomic.LoadInt64(&fq.opRows[oi])
+		}
 		nst := &s.Nodes[i]
 		nst.Node = i
 		nst.Activations = fq.acts

@@ -452,6 +452,7 @@ func (p *Pool) worker(w int) {
 		p.mu.Unlock()
 
 		outs, results := q.process(a, w)
+		q.countOpRows(a, outs, results)
 		// Chunk-memory refcounting: downstream activations share the
 		// decoded chunk's column storage, so they inherit references
 		// before this activation's own is released (post-deliver: a

@@ -346,6 +346,9 @@ type query struct {
 
 	stats Stats
 	acts  int64
+	// opRows counts rows produced per operator id (atomic adds from the
+	// worker loop; sealed into Stats.OpRows at retirement).
+	opRows []int64
 }
 
 // newQuery builds per-query runtime state. nodes is the engine's node
@@ -392,6 +395,7 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 		q.gbKeyCol = resolveKeyCol(gb.Key, len(phys.root.outKinds))
 	}
 	q.stats.PerWorker = make([]int64, opt.Workers)
+	q.opRows = make([]int64, len(phys.ops))
 	if opt.Static {
 		q.allowed = make([]map[*pop]bool, opt.Workers)
 	}
@@ -721,6 +725,10 @@ func (q *query) finalize() {
 		return
 	}
 	q.stats.Activations = q.acts
+	q.stats.OpRows = make([]int64, len(q.opRows))
+	for i := range q.opRows {
+		q.stats.OpRows[i] = atomic.LoadInt64(&q.opRows[i])
+	}
 	q.stats.SpilledPartitions = q.spilledParts.Load()
 	q.stats.SpilledBytes = q.spilledBytes.Load()
 	q.stats.SpillPhases = q.spillPhases.Load()
@@ -763,6 +771,29 @@ func (q *query) scanSrc(op *pop) *vec.Batch {
 		return q.mq.scanParts[op.id][q.node]
 	}
 	return columnize(op.scan.Table)
+}
+
+// countOpRows attributes one processed activation's produced rows to
+// its operator: batches addressed to the operator's consumer, plus the
+// root operator's result batch. Spill-phase fan-out (activations a
+// partition load addresses to the producing operator itself) replays
+// input that was already counted at production, so it is excluded.
+//
+//hierdb:hotpath
+func (q *query) countOpRows(a *activation, outs []*activation, results *vec.Batch) {
+	var n int64
+	if results != nil {
+		n = int64(results.N)
+	}
+	cons := a.op.consumer
+	for _, out := range outs {
+		if out.op == cons {
+			n += int64(out.b.N)
+		}
+	}
+	if n != 0 {
+		atomic.AddInt64(&q.opRows[a.op.id], n)
+	}
 }
 
 // process executes one activation outside the scheduler lock. It returns

@@ -23,8 +23,12 @@ type Query struct {
 	err  error
 }
 
-// Scan starts a query reading a registered table, optionally with one
-// filter predicate.
+// Scan starts a query reading a registered table.
+//
+// Deprecated: the variadic filter parameter. Prefer Where with column
+// predicates — they run inside the columnar scan kernel and the planner
+// can estimate them; a closure is opaque to both. Scan("t", f) is
+// equivalent to Scan("t").Filter-wise but kept for compatibility.
 func (db *DB) Scan(table string, filter ...func(Row) bool) *Query {
 	q := &Query{db: db}
 	if db.err != nil {
@@ -117,8 +121,70 @@ func (q *Query) Combine(fn func(probe, build Row) Row) *Query {
 // Selectivity hints the output-to-input ratio of the join introduced by
 // the immediately preceding Join step, for scheduling estimates. Like
 // Combine it clones the join node rather than mutating the receiver.
+//
+// Deprecated: use Hint(Hint{Selectivity: s}), which also carries row
+// counts and order pins for the cost-based planner.
 func (q *Query) Selectivity(s float64) *Query {
 	return q.withTop(func(j *exec.Join) { j.Selectivity = s }, "Selectivity")
+}
+
+// Hint attaches planner knowledge to the current builder step.
+// Following a Join (or Combine) step it applies to that join, subsuming
+// Selectivity; immediately following Scan or Where it applies to the
+// scan. Zero-valued fields are left unset; the step's node is cloned,
+// so the receiver is unaffected.
+type Hint struct {
+	// Selectivity is the join's output rows per probe-input row, exactly
+	// the deprecated Selectivity method (joins only).
+	Selectivity float64
+	// Rows pins the step's estimated output rows, taking precedence over
+	// Selectivity and over statistics-derived estimates.
+	Rows int64
+	// NoReorder pins the builder's literal join order: a full optimizer
+	// leaves any plan containing such a join untouched (joins only).
+	NoReorder bool
+}
+
+// Hint applies h to the current builder step; see the Hint type.
+// Negative fields, scan-inapplicable fields on a scan step, and steps
+// that take no hints (GroupBy) record an error returned by Run.
+func (q *Query) Hint(h Hint) *Query {
+	if q.err == nil && (h.Selectivity < 0 || h.Rows < 0) {
+		out := &Query{db: q.db, err: fmt.Errorf("hierdb: negative Hint field")}
+		return out
+	}
+	if q.top != nil {
+		return q.withTop(func(j *exec.Join) {
+			if h.Selectivity > 0 {
+				j.Selectivity = h.Selectivity
+			}
+			if h.Rows > 0 {
+				j.RowsHint = h.Rows
+			}
+			if h.NoReorder {
+				j.NoReorder = true
+			}
+		}, "Hint")
+	}
+	out := &Query{db: q.db, err: q.err}
+	if out.err != nil {
+		return out
+	}
+	s, ok := q.node.(*exec.Scan)
+	if !ok || q.gb != nil {
+		out.err = fmt.Errorf("hierdb: Hint must follow Scan, Where, Join, or Combine")
+		return out
+	}
+	if h.Selectivity > 0 || h.NoReorder {
+		out.err = fmt.Errorf("hierdb: Selectivity and NoReorder hints apply to join steps")
+		return out
+	}
+	ns := *s
+	if h.Rows > 0 {
+		ns.RowsHint = h.Rows
+	}
+	out.node = &ns
+	return out
 }
 
 func (q *Query) withTop(set func(*exec.Join), step string) *Query {
@@ -177,14 +243,21 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 	if q.node == nil {
 		return nil, fmt.Errorf("hierdb: empty query")
 	}
+	node := q.node
+	if q.db.mode != OptimizerOff {
+		// The cost-based planning bridge: clone the literal plan with
+		// statistics-derived estimates and, in full mode, the DP-chosen
+		// join order. Results are identical in every mode.
+		node = exec.Optimize(node, q.db.mode, q.db.statsFor).Root
+	}
 	var (
 		h   *exec.Handle
 		err error
 	)
 	if q.gb != nil {
-		h, err = q.db.eng.SubmitGroupBy(ctx, q.node, q.gb, q.db.opt)
+		h, err = q.db.eng.SubmitGroupBy(ctx, node, q.gb, q.db.opt)
 	} else {
-		h, err = q.db.eng.Submit(ctx, q.node, q.db.opt)
+		h, err = q.db.eng.Submit(ctx, node, q.db.opt)
 	}
 	if err != nil {
 		return nil, err
