@@ -55,6 +55,8 @@ test:
 	case "$$out" in *"skipped=0"*) echo "zone-map pruning skipped no chunks"; exit 1;; esac; \
 	rm -f /tmp/hdb-smoke.hdb
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) build -o bin/hdbload ./cmd/hdbload
+	./bin/hdbload -rate 200 -duration 1s -maxq 2 -queue 4 -memory 65536 -broker -tenants 2 -seed 7
 
 determinism:
 	@set -e; for p in 1 2 8; do for g in 1 4; do \
@@ -66,6 +68,7 @@ bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/simtime/; \
 	  $(GO) test -run '^$$' -bench 'Churn|MultiNode' -benchmem ./internal/core/; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFig6$$|BenchmarkEngineJoinDP$$|ConcurrentQueries|StreamingSink|MultiNodeSkew|SpillJoin|DiskScan|DiskJoinSpill|OptimizeOverhead' -benchtime 10x -benchmem .; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAdmission|BenchmarkBrokerLease' -benchmem ./internal/exec/; \
 	} | tee $(BENCH_OUT)
 
 benchdiff: bench

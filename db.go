@@ -20,17 +20,19 @@ import (
 
 // dbConfig collects Open-time options.
 type dbConfig struct {
-	nodes     int
-	workers   int
-	stripes   int
-	morsel    int
-	batch     int
-	maxq      int
-	static    bool
-	noSteal   bool
-	memory    int64
-	spillDir  string
-	optimizer OptimizerMode
+	nodes      int
+	workers    int
+	stripes    int
+	morsel     int
+	batch      int
+	maxq       int
+	admitQueue int
+	broker     bool
+	static     bool
+	noSteal    bool
+	memory     int64
+	spillDir   string
+	optimizer  OptimizerMode
 }
 
 // Option configures a DB at Open time.
@@ -73,10 +75,32 @@ func WithBatch(n int) Option { return func(c *dbConfig) { c.batch = n } }
 // FP baseline) instead of the dynamic any-worker-any-operator model.
 func WithStatic(static bool) Option { return func(c *dbConfig) { c.static = static } }
 
-// WithMaxConcurrentQueries bounds the number of in-flight queries on the
-// pool; Run blocks (respecting its context) until a slot frees. 0 means
-// unlimited.
+// WithMaxConcurrentQueries bounds the number of in-flight queries on
+// the engine. A Run beyond the bound parks in a bounded FIFO admission
+// queue (see WithAdmissionQueue) until a slot frees, dequeued
+// round-robin across WithTenant labels; it fails promptly with
+// ErrClosed if the DB closes while parked, with ErrAdmissionQueueFull
+// if the queue itself is at capacity, or with ctx.Err() if the Run
+// context fires first. 0 means unlimited.
 func WithMaxConcurrentQueries(n int) Option { return func(c *dbConfig) { c.maxq = n } }
+
+// WithAdmissionQueue caps how many Runs may park waiting for an
+// admission slot; one more is rejected immediately with
+// ErrAdmissionQueueFull (load shedding instead of unbounded queueing).
+// 0 (the default) means 8 waiters per slot; negative values are
+// rejected, reported by Run-time validation. Only meaningful together
+// with WithMaxConcurrentQueries.
+func WithAdmissionQueue(n int) Option { return func(c *dbConfig) { c.admitQueue = n } }
+
+// WithMemoryBroker switches WithMemory's governance from a fixed
+// per-query split to a shared per-node broker: the WithMemory budget
+// becomes one pool per node that all in-flight query fragments lease
+// bytes from, so idle memory flows to whichever query can use it, and
+// a fragment denied a top-up spills exactly as it would on a private
+// budget — results are identical in both modes. Requires WithMemory;
+// enabling it without a budget is rejected, reported by Run-time
+// validation.
+func WithMemoryBroker(enabled bool) Option { return func(c *dbConfig) { c.broker = enabled } }
 
 // WithMemory gives each node a memory budget in bytes for every query's
 // hash-join tables and group-by partials. A join whose build side would
@@ -174,7 +198,20 @@ func Open(opts ...Option) *DB {
 		db.err = fmt.Errorf("hierdb: invalid optimizer mode %d", cfg.optimizer)
 		return db
 	}
-	eng, err := exec.NewNodes(cfg.nodes, cfg.workers, cfg.maxq)
+	if cfg.broker && cfg.memory <= 0 {
+		db.err = fmt.Errorf("hierdb: WithMemoryBroker requires a WithMemory budget")
+		return db
+	}
+	ec := exec.EngineConfig{
+		Nodes:                cfg.nodes,
+		Workers:              cfg.workers,
+		MaxConcurrentQueries: cfg.maxq,
+		AdmissionQueue:       cfg.admitQueue,
+	}
+	if cfg.broker {
+		ec.BrokerMemory = cfg.memory
+	}
+	eng, err := exec.NewNodesConfig(ec)
 	if err != nil {
 		db.err = err
 		return db

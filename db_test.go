@@ -102,7 +102,7 @@ func TestDBQueryBuilder(t *testing.T) {
 func TestDBFilterCombineGroupBy(t *testing.T) {
 	leaktest.Check(t, 2)
 	db := testDB(t)
-	report, _, err := db.Scan("orders", func(r Row) bool { return r[0].(int) < 10 }).
+	report, _, err := db.Scan("orders").Where(Pred{Col: 0, Op: Lt, Val: 10}).
 		Join(db.Scan("regions"), KeyCol(0), KeyCol(0)).
 		Combine(func(order, region Row) Row { return Row{region[1], order[1]} }).
 		GroupBy(KeyCol(0), Aggregation{Func: Count}, Aggregation{Func: Sum, Arg: func(r Row) float64 { return float64(r[1].(int)) }}).
@@ -135,7 +135,7 @@ func TestDBConcurrentQueries(t *testing.T) {
 	queries := make([]*Query, n)
 	for i := 0; i < n; i++ {
 		lo := i
-		queries[i] = db.Scan("orders", func(r Row) bool { return r[0].(int) >= lo }).
+		queries[i] = db.Scan("orders").Where(Pred{Col: 0, Op: Ge, Val: lo}).
 			Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
 		ref, _, err := queries[i].Collect(context.Background())
 		if err != nil {
@@ -325,7 +325,7 @@ func TestRowsCloseEarlyReleasesPool(t *testing.T) {
 	}
 	// The abandoned query must not wedge the resident pool.
 	n := 0
-	small, err := db.Scan("big", func(r Row) bool { return r[0].(int) < 100 }).Run(context.Background())
+	small, err := db.Scan("big").Where(Pred{Col: 0, Op: Lt, Val: 100}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestMaxConcurrentQueriesOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Slot free again.
-	if _, _, err := db.Scan("t", func(r Row) bool { return r[0].(int) < 5 }).Collect(context.Background()); err != nil {
+	if _, _, err := db.Scan("t").Where(Pred{Col: 0, Op: Lt, Val: 5}).Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

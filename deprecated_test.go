@@ -1,0 +1,83 @@
+package hierdb
+
+// Equivalence tests for the deprecated builder wrappers: the variadic
+// Scan filter and the Selectivity method must route through exactly the
+// same execution (and planning) paths as their replacements, Where and
+// Hint, so code still on the old surface keeps the new behavior.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"hierdb/internal/leaktest"
+)
+
+// TestDeprecatedScanFilterMatchesWhere runs the same predicate as a
+// deprecated Scan closure and as a Where predicate and requires
+// identical row multisets — the closure path and the columnar-kernel
+// path converge on the same scan node.
+func TestDeprecatedScanFilterMatchesWhere(t *testing.T) {
+	leaktest.Check(t, 2)
+	db := testDB(t, WithWorkers(2))
+
+	old, _, err := db.Scan("orders", func(r Row) bool { return r[0].(int) < 10 }).
+		Join(db.Scan("lines"), KeyCol(0), KeyCol(0)).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	niu, _, err := db.Scan("orders").Where(Pred{Col: 0, Op: Lt, Val: 10}).
+		Join(db.Scan("lines"), KeyCol(0), KeyCol(0)).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) == 0 {
+		t.Fatal("filter matched no rows — the test proves nothing")
+	}
+	a, b := canonRows(old), canonRows(niu)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("deprecated Scan filter and Where diverge: %d vs %d rows", len(a), len(b))
+	}
+}
+
+// TestDeprecatedSelectivityMatchesHint plans the same join once through
+// the deprecated Selectivity method and once through Hint{Selectivity}
+// and requires the identical Explain plan (same estimates, same shape)
+// plus identical results — the wrapper is a pure alias.
+func TestDeprecatedSelectivityMatchesHint(t *testing.T) {
+	leaktest.Check(t, 2)
+	db := testDB(t, WithWorkers(2), WithOptimizer(OptimizerHints))
+
+	base := func() *Query {
+		return db.Scan("orders").Join(db.Scan("lines"), KeyCol(0), KeyCol(0))
+	}
+	old := base().Selectivity(0.25)
+	niu := base().Hint(Hint{Selectivity: 0.25})
+
+	oldPlan, err := old.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlan, err := niu.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPlan.String() != newPlan.String() {
+		t.Fatalf("plans diverge:\n--- Selectivity ---\n%s\n--- Hint ---\n%s", oldPlan, newPlan)
+	}
+	oldRows, _, err := old.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRows, _, err := niu.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonRows(oldRows), canonRows(newRows)
+	sort.Strings(a)
+	sort.Strings(b)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("results diverge: %d vs %d rows", len(a), len(b))
+	}
+}

@@ -265,6 +265,19 @@ type ColStats = catalog.ColStats
 // (see EngineStats.Nodes).
 type NodeStats = exec.NodeStats
 
+// Admission errors of a DB opened with WithMaxConcurrentQueries, for
+// errors.Is on a failed Run. ErrClosed also reports in-flight queries
+// a Close aborted.
+var (
+	// ErrClosed is returned by Run when the DB closes — including a Run
+	// parked in the admission queue, which Close fails promptly.
+	ErrClosed = exec.ErrClosed
+	// ErrAdmissionQueueFull rejects a Run immediately when every
+	// admission slot is taken and the wait queue is at capacity; see
+	// WithAdmissionQueue.
+	ErrAdmissionQueueFull = exec.ErrAdmissionQueueFull
+)
+
 // Execute runs a real-data plan under the DP scheduler and returns the
 // joined rows. It is a one-shot wrapper over a throwaway single-query
 // worker pool; services running concurrent queries should Open a

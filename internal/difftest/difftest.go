@@ -154,12 +154,29 @@ func Synthesize(seed uint64, name string, nrel int) *Case {
 // plan with the facade's query builder. The accumulated (probe) side
 // streams against each newly attached relation's build table.
 func (c *Case) Build(db *hierdb.DB) (*hierdb.Query, error) {
+	if err := c.Register(db); err != nil {
+		return nil, err
+	}
+	return c.Plan(db), nil
+}
+
+// Register registers the case's tables on db without building a plan.
+// Call it once per DB; drivers that submit the same case repeatedly
+// (cmd/hdbload) pair one Register with many Plan calls, since
+// registering twice on the same handle is an error.
+func (c *Case) Register(db *hierdb.DB) error {
 	for _, tb := range c.Tables {
 		if err := db.RegisterTable(tb); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return c.plan(db), nil
+	return nil
+}
+
+// Plan assembles the case's left-deep join chain over tables already
+// registered on db (by Register or a prior Build).
+func (c *Case) Plan(db *hierdb.DB) *hierdb.Query {
+	return c.plan(db)
 }
 
 // BuildDisk writes every relation to a chunked columnar table file

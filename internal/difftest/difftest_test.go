@@ -35,6 +35,14 @@ func legs(t *testing.T) []struct {
 		{"nosteal", false, []hierdb.Option{hierdb.WithNodes(2), hierdb.WithWorkers(2), hierdb.WithStealing(false)}},
 		{"tinymem", false, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
 		{"tinymem-4node", false, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithSpillDir(t.TempDir())}},
+		// The broker legs: the same tiny budget, but leased from the
+		// per-node memory broker instead of split per fragment. A
+		// fragment denied a top-up takes exactly the fixed-split spill
+		// path, so multiset identity against the fixed-split legs is the
+		// proof the broker never changes results — single-node and on
+		// four governed nodes.
+		{"broker-tinymem", false, []hierdb.Option{hierdb.WithWorkers(4), hierdb.WithMemory(tinyBudget), hierdb.WithMemoryBroker(true), hierdb.WithSpillDir(t.TempDir())}},
+		{"broker-4node", false, []hierdb.Option{hierdb.WithNodes(4), hierdb.WithWorkers(2), hierdb.WithMemory(tinyBudget), hierdb.WithMemoryBroker(true), hierdb.WithSpillDir(t.TempDir())}},
 		// The columnar-kernel legs: tiny batches force constant batch
 		// boundaries, padding and selection-vector churn through the vec
 		// pipeline, on one node and on four governed nodes. Both are

@@ -1,0 +1,74 @@
+package exec
+
+// Benchmarks for the admission controller and memory broker hot paths,
+// gated by cmd/benchdiff against BENCH_engine.json. /grant is the
+// uncontended Submit fast path (one mutex acquire per side);/park is
+// the full park-and-handoff cycle a queued Submit pays: goroutine
+// parks, release transfers the slot, done channel wakes it.
+// BenchmarkBrokerLease is the chargeMem fast/slow mix: lease top-ups
+// every batch, a broker-mutex grant only when usage crosses a chunk
+// boundary, one trim per collapse.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+func BenchmarkAdmission(b *testing.B) {
+	ctx := context.Background()
+	b.Run("grant", func(b *testing.B) {
+		ad := newAdmitter(1, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ad.acquire(ctx, ""); err != nil {
+				b.Fatal(err)
+			}
+			ad.release()
+		}
+	})
+	b.Run("park", func(b *testing.B) {
+		ad := newAdmitter(1, 0)
+		if _, err := ad.acquire(ctx, ""); err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			go func() {
+				if _, err := ad.acquire(ctx, "t"); err != nil {
+					b.Error(err)
+				}
+				done <- struct{}{}
+			}()
+			for ad.queued() != 1 {
+				runtime.Gosched()
+			}
+			// The waiter inherits the slot; inflight never dips, so the
+			// next iteration's waiter parks behind it again.
+			ad.release()
+			<-done
+		}
+	})
+}
+
+func BenchmarkBrokerLease(b *testing.B) {
+	const step = 4 << 10    // one batch-sized charge
+	const ceiling = 8 << 20 // fragment working set before collapse
+	bk := &memBroker{budget: 1 << 30}
+	var l memLease
+	b.ReportAllocs()
+	var used int64
+	for i := 0; i < b.N; i++ {
+		used += step
+		if used > ceiling {
+			used = step
+			bk.trim(&l, used)
+		}
+		if !bk.topUp(&l, used) {
+			b.Fatal("topUp denied under a 1GiB budget")
+		}
+	}
+	bk.releaseAll(&l)
+}

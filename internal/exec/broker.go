@@ -1,0 +1,118 @@
+package exec
+
+// The per-node memory broker: the paper's §3.2 condition (i) applied
+// across queries instead of within one. With the fixed split
+// (Options.MemoryPerNode, broker off) every fragment owns a private
+// byte budget regardless of what its neighbours use; with the broker
+// on, all in-flight fragments of a node lease bytes from one shared
+// pool — idle memory flows to whoever can use it, and a fragment
+// denied a top-up takes exactly the spill path it would have taken on
+// a private budget, so results are identical by construction. The
+// charge accounting stays where it always was (memgov.go charges
+// memUsed atomically); only the over-budget decision changes: fixed
+// mode compares memUsed against memBudget, broker mode tops the
+// fragment's lease up from the shared pool and spills on denial.
+//
+// Lock order: broker.mu sits between jspill and stripe —
+// spillNextLocked refunds a finished partition's charge while holding
+// pool (and mq) + jspill mutexes, and nothing holding broker.mu takes
+// any other lock.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// leaseChunk is the broker's grant granularity: top-ups round up by one
+// chunk of slack so a steadily growing build does not take the broker
+// mutex per batch, and trims leave one chunk of slack behind.
+const leaseChunk int64 = 64 << 10
+
+// memBroker arbitrates one node's memory budget across that node's
+// in-flight query fragments. budget is fixed at engine start; granted
+// is the sum of all outstanding leases and never exceeds budget.
+type memBroker struct {
+	budget int64
+
+	mu      sync.Mutex //hierdb:lock broker
+	granted int64
+}
+
+// memLease is one fragment's slice of its node's broker budget.
+// granted is written only under the broker mutex but read lock-free on
+// the charge fast path (a stale read under-estimates the lease and at
+// worst takes the slow path).
+type memLease struct {
+	granted atomic.Int64
+}
+
+// topUp ensures the lease covers used bytes, growing it from the
+// broker pool (plus a chunk of slack) when it does not. Returns false
+// when the pool cannot cover the shortfall — the fragment is over
+// budget and must spill, exactly as a fixed-split fragment crossing
+// its private budget would.
+//
+//hierdb:hotpath
+func (b *memBroker) topUp(l *memLease, used int64) bool {
+	if used <= l.granted.Load() {
+		return true
+	}
+	b.mu.Lock()
+	g := l.granted.Load()
+	if used <= g {
+		b.mu.Unlock()
+		return true
+	}
+	need := used - g
+	avail := b.budget - b.granted
+	if need > avail {
+		b.mu.Unlock()
+		return false
+	}
+	grant := need + leaseChunk
+	if grant > avail {
+		grant = avail
+	}
+	b.granted += grant
+	l.granted.Store(g + grant)
+	b.mu.Unlock()
+	return true
+}
+
+// trim returns surplus lease to the pool once the fragment's usage has
+// shrunk well below it (two chunks of slack), leaving one chunk behind
+// so charge/uncharge oscillation does not thrash the broker mutex.
+//
+//hierdb:hotpath
+func (b *memBroker) trim(l *memLease, used int64) {
+	if used < 0 {
+		used = 0
+	}
+	if l.granted.Load()-used < 2*leaseChunk {
+		return
+	}
+	b.mu.Lock()
+	g := l.granted.Load()
+	if target := used + leaseChunk; g > target {
+		b.granted -= g - target
+		l.granted.Store(target)
+	}
+	b.mu.Unlock()
+}
+
+// releaseAll returns the fragment's entire lease to the pool. Called
+// exactly once, at query finalize.
+func (b *memBroker) releaseAll(l *memLease) {
+	b.mu.Lock()
+	b.granted -= l.granted.Load()
+	l.granted.Store(0)
+	b.mu.Unlock()
+}
+
+// available reports the unleased remainder of the pool (the spill-load
+// headroom estimate; see query.memHeadroom).
+func (b *memBroker) available() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.budget - b.granted
+}

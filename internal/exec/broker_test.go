@@ -1,0 +1,152 @@
+package exec
+
+// Tests for the per-node memory broker: deterministic grant/deny/trim
+// arithmetic plus the race-stressed invariant that the sum of all
+// outstanding leases always equals the broker's granted total and never
+// exceeds its budget.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hierdb/internal/xrand"
+)
+
+// TestBrokerGrantDenyTrim walks one lease through the broker's
+// arithmetic: chunk-padded grants, denial on shortfall (with nothing
+// leaked), trim hysteresis, and releaseAll returning everything.
+func TestBrokerGrantDenyTrim(t *testing.T) {
+	b := &memBroker{budget: 4 * leaseChunk}
+	var l memLease
+
+	if !b.topUp(&l, 10) {
+		t.Fatal("topUp(10) denied with an empty pool")
+	}
+	if g := l.granted.Load(); g != 10+leaseChunk {
+		t.Fatalf("lease after topUp(10) = %d, want need+chunk = %d", g, 10+leaseChunk)
+	}
+	// Within the lease: no broker traffic, still granted.
+	if !b.topUp(&l, leaseChunk) {
+		t.Fatal("topUp within lease denied")
+	}
+	// Beyond the budget: denied, and the denial must leak nothing.
+	before := b.available()
+	if b.topUp(&l, 5*leaseChunk) {
+		t.Fatal("topUp beyond budget granted")
+	}
+	if after := b.available(); after != before {
+		t.Fatalf("denied topUp moved available from %d to %d", before, after)
+	}
+	// Growing to exactly the budget succeeds (grant capped at avail).
+	if !b.topUp(&l, 4*leaseChunk) {
+		t.Fatal("topUp to exactly the budget denied")
+	}
+	if avail := b.available(); avail != 0 {
+		t.Fatalf("available after full grant = %d, want 0", avail)
+	}
+	// Usage collapses: trim keeps one chunk of slack, frees the rest.
+	b.trim(&l, 10)
+	if g := l.granted.Load(); g != 10+leaseChunk {
+		t.Fatalf("lease after trim(10) = %d, want used+chunk = %d", g, 10+leaseChunk)
+	}
+	// Within the hysteresis band trim is a no-op.
+	g := l.granted.Load()
+	b.trim(&l, g-leaseChunk)
+	if l.granted.Load() != g {
+		t.Fatal("trim inside the hysteresis band shrank the lease")
+	}
+	b.releaseAll(&l)
+	if g := l.granted.Load(); g != 0 {
+		t.Fatalf("lease after releaseAll = %d, want 0", g)
+	}
+	if avail := b.available(); avail != b.budget {
+		t.Fatalf("available after releaseAll = %d, want full budget %d", avail, b.budget)
+	}
+}
+
+// TestBrokerLeaseInvariant race-stresses the broker with concurrent
+// fragments growing, shrinking, spilling (denied top-ups) and retiring,
+// while a checker repeatedly asserts the conservation invariant: the
+// sum of all leases equals granted, and granted never exceeds the
+// budget. Run under -race this is the broker's concurrency check.
+func TestBrokerLeaseInvariant(t *testing.T) {
+	const fragments = 8
+	const iters = 2000
+	budget := int64(fragments) * 3 * leaseChunk // contended: ~3 chunks each
+	b := &memBroker{budget: budget}
+	leases := make([]memLease, fragments)
+
+	stop := make(chan struct{})
+	checkErr := make(chan error, 1)
+	go func() {
+		defer close(checkErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Lease stores happen under b.mu, so holding it snapshots
+			// the whole system consistently.
+			b.mu.Lock()
+			var sum int64
+			for i := range leases {
+				sum += leases[i].granted.Load()
+			}
+			granted := b.granted
+			b.mu.Unlock()
+			if sum != granted || granted < 0 || granted > budget {
+				checkErr <- &brokerInvariantError{sum: sum, granted: granted, budget: budget}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for f := 0; f < fragments; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			r := xrand.New(uint64(f) + 1)
+			l := &leases[f]
+			var used int64
+			for i := 0; i < iters; i++ {
+				switch r.Intn(4) {
+				case 0, 1: // grow, possibly denied (the spill decision)
+					used += r.Int63n(leaseChunk) + 1
+					if !b.topUp(l, used) {
+						// Denied: the fragment spills, usage collapses.
+						used = used / 4
+						b.trim(l, used)
+					}
+				case 2: // shrink and trim
+					used = used / 2
+					b.trim(l, used)
+				case 3: // fragment retires and a new one reuses the slot
+					b.releaseAll(l)
+					used = 0
+				}
+			}
+			b.releaseAll(l)
+		}(f)
+	}
+	wg.Wait()
+	close(stop)
+	if err, ok := <-checkErr; ok && err != nil {
+		t.Fatal(err)
+	}
+	if avail := b.available(); avail != budget {
+		t.Fatalf("available after all fragments retired = %d, want %d", avail, budget)
+	}
+}
+
+// brokerInvariantError reports a conservation violation snapshot.
+type brokerInvariantError struct {
+	sum, granted, budget int64
+}
+
+func (e *brokerInvariantError) Error() string {
+	return fmt.Sprintf("broker invariant violated: sum(leases)=%d granted=%d budget=%d",
+		e.sum, e.granted, e.budget)
+}

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"hierdb/internal/spill"
 	"hierdb/internal/store"
@@ -183,6 +184,13 @@ type Options struct {
 	// subdirectory per query, removed at retirement). Empty means the
 	// system temp directory. Only consulted when MemoryPerNode > 0.
 	SpillDir string
+	// Tenant labels the query for admission fairness: when Submits
+	// queue for an admission slot (the engine was opened with a
+	// MaxConcurrentQueries bound), the controller dequeues round-robin
+	// across tenant labels, FIFO within one, so one tenant's backlog
+	// cannot starve another's. Empty is a valid label (the default
+	// tenant); with a single tenant the queue is plain FIFO.
+	Tenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -231,6 +239,10 @@ type Stats struct {
 	// QueryID identifies the query on its pool (assigned at Submit).
 	QueryID     int64
 	Activations int64
+	// AdmissionWait is how long Submit parked in the admission queue
+	// before the query was admitted (zero when a slot was free
+	// immediately or the engine has no MaxConcurrentQueries bound).
+	AdmissionWait time.Duration
 	// ResultRows counts rows delivered as the query's result. For
 	// group-by queries that is one row per group (the aggregation's
 	// output, not the join rows feeding it).

@@ -227,8 +227,10 @@ func (mq *mquery) solicit(thief, fq *query, node int) *stealOffer {
 		bytes := mq.shipEstimate(thief, s.op, s.acts)
 		// Memory governance: a thief does not acquire buckets its budget
 		// cannot hold (the real-engine form of §3.2's memory-fit
-		// condition (i), vacuous only when ungoverned).
-		if thief.memBudget > 0 && thief.memUsed.Load()+bytes > thief.memBudget {
+		// condition (i), vacuous only when ungoverned). On a broker
+		// engine the headroom is the thief's lease slack plus the
+		// unleased pool remainder.
+		if thief.memBudget > 0 && bytes > thief.memHeadroom() {
 			continue
 		}
 		score := float64(s.queued) / (1 + float64(bytes)/1024)

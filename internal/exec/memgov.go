@@ -29,7 +29,7 @@ package exec
 // group-by merge all see a perfectly ordinary (if long-lived) operator.
 //
 // Lock order: pool.mu (or mq.mu -> pool.mu) -> joinSpill.mu ->
-// query.spillMu -> spill.File's internal mutex.
+// memBroker.mu -> query.spillMu -> spill.File's internal mutex.
 
 import (
 	"fmt"
@@ -127,19 +127,45 @@ func (sp *joinSpill) drainCloses() {
 
 // chargeMem adds n bytes to the fragment's memory account and reports
 // whether the budget is now exceeded. No-op (never over) when
-// ungoverned.
+// ungoverned. Under a broker engine the fragment's usage is covered by
+// a lease from the node's shared pool instead of the private budget:
+// "over budget" then means the broker denied a top-up, and the caller
+// spills exactly as it would on a private budget.
 func (q *query) chargeMem(n int64) bool {
 	if q.memBudget <= 0 || n == 0 {
 		return false
 	}
-	return q.memUsed.Add(n) > q.memBudget
+	used := q.memUsed.Add(n)
+	if q.broker != nil {
+		return !q.broker.topUp(&q.lease, used)
+	}
+	return used > q.memBudget
 }
 
-// unchargeMem releases bytes charged by chargeMem.
+// unchargeMem releases bytes charged by chargeMem, returning surplus
+// lease to the broker pool on a broker engine.
 func (q *query) unchargeMem(n int64) {
-	if q.memBudget > 0 && n != 0 {
-		q.memUsed.Add(-n)
+	if q.memBudget <= 0 || n == 0 {
+		return
 	}
+	used := q.memUsed.Add(-n)
+	if q.broker != nil {
+		q.broker.trim(&q.lease, used)
+	}
+}
+
+// memHeadroom estimates how many more bytes the fragment could charge
+// without going over: the unused remainder of the private budget, or —
+// on a broker engine — the unused lease plus the broker pool's
+// unleased remainder (another fragment may claim that remainder first;
+// the estimate is advisory, exactly like the fixed-split one, which
+// other workers' concurrent charges also invalidate).
+func (q *query) memHeadroom() int64 {
+	used := q.memUsed.Load()
+	if q.broker != nil {
+		return q.lease.granted.Load() - used + q.broker.available()
+	}
+	return q.memBudget - used
 }
 
 // approxRowBytes estimates a row's resident size: slice header plus one
@@ -506,7 +532,7 @@ func (q *query) processSpillLoad(a *activation) (outs []*activation) {
 	// never re-partition below a quarter of the budget: with pathological
 	// little headroom that would recurse every partition to the depth
 	// cap, exploding the file fan-out for no achievable fit.
-	headroom := q.memBudget - q.memUsed.Load()
+	headroom := q.memHeadroom()
 	if floor := q.memBudget / 4; headroom < floor {
 		headroom = floor
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hierdb/internal/vec"
 )
@@ -33,7 +34,10 @@ type Nodes struct {
 	n       int
 	workers int // per node
 	pools   []*Pool
-	sem     chan struct{} // admission slots; nil = unlimited
+	// admit is the engine-wide admission controller (nil = unlimited).
+	// With n == 1 it lives on the single pool instead, so the delegated
+	// Submit path owns admission end to end.
+	admit *admitter
 
 	mu     sync.Mutex
 	parts  map[*Table][]*vec.Batch
@@ -42,22 +46,70 @@ type Nodes struct {
 	closed bool
 }
 
+// EngineConfig configures a Nodes engine at creation — the explicit
+// form of the NewNodes positional arguments, plus the admission and
+// memory-broker knobs.
+type EngineConfig struct {
+	// Nodes is the SM-node count (0 = 1); Workers the per-node worker
+	// count (0 = 4).
+	Nodes   int
+	Workers int
+	// MaxConcurrentQueries bounds in-flight queries across the engine
+	// (0 = unlimited). Excess Submits park in a bounded FIFO admission
+	// queue, dequeued round-robin across Options.Tenant labels.
+	MaxConcurrentQueries int
+	// AdmissionQueue caps how many Submits may park waiting for a slot
+	// (0 = 8 per slot); one more is rejected with ErrAdmissionQueueFull.
+	// Only meaningful with MaxConcurrentQueries > 0.
+	AdmissionQueue int
+	// BrokerMemory, when > 0, puts each node's memory governance behind
+	// a shared broker of this many bytes: in-flight fragments lease
+	// bytes from the node's pool instead of owning a fixed
+	// Options.MemoryPerNode split, and a fragment denied a top-up
+	// spills exactly as a fixed-split fragment would. Queries submitted
+	// with MemoryPerNode == 0 stay ungoverned either way.
+	BrokerMemory int64
+}
+
 // NewNodes starts a multi-node engine: nodes pools of workers goroutines
 // each (both 0 means the default: 1 node, 4 workers). maxConcurrent
 // bounds in-flight queries across the engine (0 = unlimited).
 func NewNodes(nodes, workers, maxConcurrent int) (*Nodes, error) {
+	return NewNodesConfig(EngineConfig{Nodes: nodes, Workers: workers, MaxConcurrentQueries: maxConcurrent})
+}
+
+// NewNodesConfig starts an engine from an explicit configuration; see
+// EngineConfig.
+func NewNodesConfig(cfg EngineConfig) (*Nodes, error) {
+	nodes := cfg.Nodes
 	if nodes < 0 {
 		return nil, fmt.Errorf("exec: negative Nodes (%d)", nodes)
 	}
 	if nodes == 0 {
 		nodes = 1
 	}
-	if maxConcurrent < 0 {
-		return nil, fmt.Errorf("exec: negative MaxConcurrentQueries (%d)", maxConcurrent)
+	if cfg.MaxConcurrentQueries < 0 {
+		return nil, fmt.Errorf("exec: negative MaxConcurrentQueries (%d)", cfg.MaxConcurrentQueries)
+	}
+	if cfg.AdmissionQueue < 0 {
+		return nil, fmt.Errorf("exec: negative AdmissionQueue (%d)", cfg.AdmissionQueue)
+	}
+	if cfg.BrokerMemory < 0 {
+		return nil, fmt.Errorf("exec: negative BrokerMemory (%d)", cfg.BrokerMemory)
+	}
+	var admit *admitter
+	if cfg.MaxConcurrentQueries > 0 {
+		admit = newAdmitter(cfg.MaxConcurrentQueries, cfg.AdmissionQueue)
+	}
+	broker := func() *memBroker {
+		if cfg.BrokerMemory > 0 {
+			return &memBroker{budget: cfg.BrokerMemory}
+		}
+		return nil
 	}
 	ns := &Nodes{n: nodes}
 	if nodes == 1 {
-		p, err := NewPool(workers, maxConcurrent)
+		p, err := newPool(cfg.Workers, admit, broker())
 		if err != nil {
 			return nil, err
 		}
@@ -65,6 +117,7 @@ func NewNodes(nodes, workers, maxConcurrent int) (*Nodes, error) {
 		ns.workers = p.Workers()
 		return ns, nil
 	}
+	workers := cfg.Workers
 	if workers < 0 {
 		return nil, fmt.Errorf("exec: negative Workers (%d)", workers)
 	}
@@ -74,11 +127,9 @@ func NewNodes(nodes, workers, maxConcurrent int) (*Nodes, error) {
 	ns.workers = workers
 	ns.parts = make(map[*Table][]*vec.Batch)
 	ns.live = make(map[*mquery]struct{})
-	if maxConcurrent > 0 {
-		ns.sem = make(chan struct{}, maxConcurrent)
-	}
+	ns.admit = admit
 	for i := 0; i < nodes; i++ {
-		p, err := NewPool(workers, 0)
+		p, err := newPool(workers, nil, broker())
 		if err != nil {
 			for _, q := range ns.pools {
 				q.Close()
@@ -197,18 +248,21 @@ func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options
 	if root == nil {
 		return nil, fmt.Errorf("exec: nil plan")
 	}
+	// Admission precedes compilation — see Pool.submit.
+	var wait time.Duration
+	if ns.admit != nil {
+		if wait, err = ns.admit.acquire(ctx, opt.Tenant); err != nil {
+			return nil, err
+		}
+	}
 	phys, err := compile(root)
 	if err != nil {
+		if ns.admit != nil {
+			ns.admit.release()
+		}
 		return nil, err
 	}
 	annotateVec(phys)
-	if ns.sem != nil {
-		select {
-		case ns.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
 	qctx, qcancel := context.WithCancel(ctx)
 	mq := &mquery{
 		nodes:     ns,
@@ -242,12 +296,13 @@ func (ns *Nodes) submit(ctx context.Context, root Node, gb *GroupBy, opt Options
 		mq.frags = append(mq.frags, fq)
 	}
 
+	mq.stats.AdmissionWait = wait
 	ns.mu.Lock()
 	if ns.closed {
 		ns.mu.Unlock()
 		qcancel()
-		if ns.sem != nil {
-			<-ns.sem
+		if ns.admit != nil {
+			ns.admit.release()
 		}
 		return nil, ErrClosed
 	}
@@ -291,8 +346,8 @@ func (ns *Nodes) release(mq *mquery) {
 	ns.mu.Lock()
 	delete(ns.live, mq)
 	ns.mu.Unlock()
-	if ns.sem != nil {
-		<-ns.sem
+	if ns.admit != nil {
+		ns.admit.release()
 	}
 }
 
@@ -314,6 +369,11 @@ func (ns *Nodes) Close() {
 		live = append(live, mq)
 	}
 	ns.mu.Unlock()
+	// Parked admission waiters first: they must fail with ErrClosed
+	// promptly, before the in-flight queries drain.
+	if ns.admit != nil {
+		ns.admit.close()
+	}
 	for _, mq := range live {
 		mq.fail(ErrClosed)
 	}

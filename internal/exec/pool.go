@@ -35,7 +35,8 @@ var ErrClosed = errors.New("exec: pool closed")
 // with Submit/SubmitGroupBy, release the workers with Close.
 type Pool struct {
 	workers int
-	sem     chan struct{} // admission slots; nil = unlimited
+	admit   *admitter  // admission controller; nil = unlimited
+	broker  *memBroker // shared node memory pool; nil = fixed per-fragment split
 
 	mu       sync.Mutex //hierdb:lock pool
 	cond     *sync.Cond
@@ -50,27 +51,45 @@ type Pool struct {
 
 // NewPool starts a resident pool. workers == 0 defaults to 4; negative
 // values are rejected. maxConcurrent bounds the number of in-flight
-// queries (0 = unlimited), with Submit blocking until a slot frees.
+// queries (0 = unlimited): excess Submits park in a bounded FIFO
+// admission queue (8 waiters per slot) until a slot frees, the engine
+// closes, or the caller's context fires. Use NewNodesConfig for an
+// explicit queue cap, tenant-fair dequeue or a broker budget.
 func NewPool(workers, maxConcurrent int) (*Pool, error) {
-	if workers < 0 {
-		return nil, fmt.Errorf("exec: negative Workers (%d)", workers)
-	}
 	if maxConcurrent < 0 {
 		return nil, fmt.Errorf("exec: negative MaxConcurrentQueries (%d)", maxConcurrent)
+	}
+	var admit *admitter
+	if maxConcurrent > 0 {
+		admit = newAdmitter(maxConcurrent, 0)
+	}
+	return newPool(workers, admit, nil)
+}
+
+// newPool starts a resident pool with an optional admission controller
+// and node memory broker (both may be nil).
+func newPool(workers int, admit *admitter, broker *memBroker) (*Pool, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("exec: negative Workers (%d)", workers)
 	}
 	if workers == 0 {
 		workers = 4
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, admit: admit, broker: broker}
 	p.cond = sync.NewCond(&p.mu)
-	if maxConcurrent > 0 {
-		p.sem = make(chan struct{}, maxConcurrent)
-	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go p.worker(w)
 	}
 	return p, nil
+}
+
+// admitRelease returns the caller's admission slot, if the pool has
+// admission control at all. nil-safe by the admit check.
+func (p *Pool) admitRelease() {
+	if p.admit != nil {
+		p.admit.release()
+	}
 }
 
 // Workers returns the pool's worker count.
@@ -103,28 +122,30 @@ func (p *Pool) submit(ctx context.Context, root Node, gb *GroupBy, opt Options) 
 	if root == nil {
 		return nil, fmt.Errorf("exec: nil plan")
 	}
+	// Admission precedes compilation: a parked Submit holds no compiled
+	// physical plan (or any other per-query state) while it waits, and
+	// Close fails it promptly even on a context.Background() caller.
+	var wait time.Duration
+	if p.admit != nil {
+		if wait, err = p.admit.acquire(ctx, opt.Tenant); err != nil {
+			return nil, err
+		}
+	}
 	phys, err := compile(root)
 	if err != nil {
+		p.admitRelease()
 		return nil, err
 	}
 	annotateVec(phys)
-	if p.sem != nil {
-		select {
-		case p.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
 	qctx, qcancel := context.WithCancel(ctx)
 	q := newQuery(p, phys, gb, opt, qctx, qcancel, 1, nil)
+	q.stats.AdmissionWait = wait
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		qcancel()
-		if p.sem != nil {
-			<-p.sem
-		}
+		p.admitRelease()
 		return nil, ErrClosed
 	}
 	q.id = p.nextID
@@ -533,6 +554,12 @@ func (p *Pool) Close() {
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	// Fail parked admission waiters before anything that can block:
+	// a Submit waiting on a slot must get ErrClosed promptly, not after
+	// the in-flight queries drain.
+	if p.admit != nil {
+		p.admit.close()
+	}
 	for _, q := range fin {
 		q.finalize()
 	}

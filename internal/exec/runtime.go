@@ -322,9 +322,14 @@ type query struct {
 	// the governed state simply does not exist on the default hot path).
 	// memBudget is this fragment's byte budget; memUsed its current
 	// charge (hash-table entries, loaded spill partitions, group-by
-	// partials, stolen bucket caches).
+	// partials, stolen bucket caches). On a broker engine memBudget is
+	// the node's shared pool size and the fragment's usage must instead
+	// stay covered by lease, topped up from (and trimmed back to) the
+	// node's broker.
 	memBudget int64
 	memUsed   atomic.Int64
+	broker    *memBroker
+	lease     memLease
 	// spillMu guards the spill directory and file registry (innermost
 	// after joinSpill.mu; never held while taking scheduler locks).
 	spillMu    sync.Mutex //hierdb:lock spillmu
@@ -404,6 +409,13 @@ func newQuery(p *Pool, phys *physical, gb *GroupBy, opt Options, ctx context.Con
 	}
 	if opt.MemoryPerNode > 0 {
 		q.memBudget = opt.MemoryPerNode
+		if p.broker != nil {
+			// Broker engine: the shared pool is the capacity reference
+			// (spill-load floors, repartition decisions); charges are
+			// covered by leases instead of the private split.
+			q.broker = p.broker
+			q.memBudget = p.broker.budget
+		}
 		if gb != nil {
 			q.gbFiles = make([]*spill.File, opt.Workers)
 			q.gbCharged = make([]int64, opt.Workers)
@@ -720,6 +732,9 @@ func stopParkTimer(t *time.Timer) {
 // which closes the shared sink when the last fragment retires.
 func (q *query) finalize() {
 	q.releaseSpill()
+	if q.broker != nil {
+		q.broker.releaseAll(&q.lease)
+	}
 	if q.mq != nil {
 		q.mq.fragRetired()
 		return
@@ -738,8 +753,8 @@ func (q *query) finalize() {
 	close(q.sink)
 	close(q.finished)
 	q.cancel()
-	if q.pool.sem != nil {
-		<-q.pool.sem
+	if q.pool.admit != nil {
+		q.pool.admit.release()
 	}
 }
 

@@ -16,11 +16,12 @@ import (
 // Query is a logical plan under construction, bound to a DB. Execute it
 // with Run (streaming) or Collect (materialized).
 type Query struct {
-	db   *DB
-	node exec.Node
-	top  *exec.Join // join introduced by this builder step, for Combine/Selectivity
-	gb   *exec.GroupBy
-	err  error
+	db     *DB
+	node   exec.Node
+	top    *exec.Join // join introduced by this builder step, for Combine/Selectivity
+	gb     *exec.GroupBy
+	tenant string // admission-fairness label, set by WithTenant
+	err    error
 }
 
 // Scan starts a query reading a registered table.
@@ -67,7 +68,7 @@ func (db *DB) Scan(table string, filter ...func(Row) bool) *Query {
 // condition is column-vs-constant. The scan node is cloned, so the
 // receiver — and any query already running over it — is unaffected.
 func (q *Query) Where(preds ...Pred) *Query {
-	out := &Query{db: q.db, err: q.err}
+	out := &Query{db: q.db, tenant: q.tenant, err: q.err}
 	if out.err != nil {
 		return out
 	}
@@ -87,7 +88,7 @@ func (q *Query) Where(preds ...Pred) *Query {
 // Output rows are probe columns then build columns unless Combine is
 // set on the result.
 func (q *Query) Join(build *Query, probeKey, buildKey KeyFunc) *Query {
-	out := &Query{db: q.db}
+	out := &Query{db: q.db, tenant: q.tenant}
 	switch {
 	case q.err != nil:
 		out.err = q.err
@@ -150,7 +151,7 @@ type Hint struct {
 // that take no hints (GroupBy) record an error returned by Run.
 func (q *Query) Hint(h Hint) *Query {
 	if q.err == nil && (h.Selectivity < 0 || h.Rows < 0) {
-		out := &Query{db: q.db, err: fmt.Errorf("hierdb: negative Hint field")}
+		out := &Query{db: q.db, tenant: q.tenant, err: fmt.Errorf("hierdb: negative Hint field")}
 		return out
 	}
 	if q.top != nil {
@@ -166,7 +167,7 @@ func (q *Query) Hint(h Hint) *Query {
 			}
 		}, "Hint")
 	}
-	out := &Query{db: q.db, err: q.err}
+	out := &Query{db: q.db, tenant: q.tenant, err: q.err}
 	if out.err != nil {
 		return out
 	}
@@ -188,7 +189,7 @@ func (q *Query) Hint(h Hint) *Query {
 }
 
 func (q *Query) withTop(set func(*exec.Join), step string) *Query {
-	out := &Query{db: q.db, err: q.err}
+	out := &Query{db: q.db, tenant: q.tenant, err: q.err}
 	if out.err != nil {
 		return out
 	}
@@ -206,7 +207,7 @@ func (q *Query) withTop(set func(*exec.Join), step string) *Query {
 // rows are [key, agg0, agg1, ...] ordered deterministically by formatted
 // key. It must be the final builder step.
 func (q *Query) GroupBy(key KeyFunc, aggs ...Aggregation) *Query {
-	out := &Query{db: q.db, node: q.node}
+	out := &Query{db: q.db, node: q.node, tenant: q.tenant}
 	switch {
 	case q.err != nil:
 		out.err = q.err
@@ -220,10 +221,26 @@ func (q *Query) GroupBy(key KeyFunc, aggs ...Aggregation) *Query {
 	return out
 }
 
+// WithTenant labels the query for admission fairness on a DB opened
+// with WithMaxConcurrentQueries: queries parked in the admission queue
+// are dequeued round-robin across tenant labels (FIFO within one), so
+// one tenant's backlog cannot starve another's. The label survives
+// later builder steps; without it the query belongs to the default
+// (empty) tenant. No effect on an unbounded DB.
+func (q *Query) WithTenant(id string) *Query {
+	out := &Query{db: q.db, node: q.node, top: q.top, gb: q.gb, tenant: id, err: q.err}
+	return out
+}
+
 // Run submits the query to the DB's resident pool and returns a
 // streaming Rows. The query executes concurrently with any other
 // in-flight queries on the handle; result batches flow through a bounded
-// sink, so iterate promptly or Close to release the workers.
+// sink, so iterate promptly or Close to release the workers. On a DB
+// opened with WithMaxConcurrentQueries, Run may park in the admission
+// queue until a slot frees — failing promptly with ErrClosed if the DB
+// closes, with ErrAdmissionQueueFull if the queue is at capacity, or
+// with ctx.Err() if the context fires first; EngineStats.AdmissionWait
+// reports the time parked.
 func (q *Query) Run(ctx context.Context) (*Rows, error) {
 	if q.err != nil {
 		return nil, q.err
@@ -250,14 +267,16 @@ func (q *Query) Run(ctx context.Context) (*Rows, error) {
 		// join order. Results are identical in every mode.
 		node = exec.Optimize(node, q.db.mode, q.db.statsFor).Root
 	}
+	opt := q.db.opt
+	opt.Tenant = q.tenant
 	var (
 		h   *exec.Handle
 		err error
 	)
 	if q.gb != nil {
-		h, err = q.db.eng.SubmitGroupBy(ctx, node, q.gb, q.db.opt)
+		h, err = q.db.eng.SubmitGroupBy(ctx, node, q.gb, opt)
 	} else {
-		h, err = q.db.eng.Submit(ctx, node, q.db.opt)
+		h, err = q.db.eng.Submit(ctx, node, opt)
 	}
 	if err != nil {
 		return nil, err
